@@ -1,0 +1,137 @@
+// Command coflowbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	coflowbench -experiment all            # Figure 1, Table 1, Figures 3-4, ablations
+//	coflowbench -experiment fig3 -trials 5 # just Figure 3, 5 trials per point
+//	coflowbench -experiment fig3 -paper    # the paper's 128-server configuration (slow)
+//
+// Output is plain text: one absolute-value table and one ratio-to-baseline
+// table per figure (the two panels of the paper's Figures 3 and 4), plus the
+// average-improvement summary the paper quotes in §4.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coflowsched/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, all")
+		paper      = flag.Bool("paper", false, "use the paper's full-scale configuration (128-server fat-tree, slow)")
+		fatK       = flag.Int("fatk", 0, "fat-tree arity k (overrides the configuration; k=8 is the paper's 128 servers)")
+		trials     = flag.Int("trials", 0, "trials per data point (override)")
+		seed       = flag.Int64("seed", 0, "random seed (override)")
+		coflows    = flag.Int("coflows", 0, "number of coflows for the width sweep (override)")
+		widths     = flag.String("widths", "", "comma-separated coflow widths for fig3 (override)")
+		counts     = flag.String("counts", "", "comma-separated coflow counts for fig4 (override)")
+		width      = flag.Int("width", 0, "fixed coflow width for fig4 (override)")
+		candidates = flag.Int("paths", 0, "candidate paths per flow for the LP (override)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables for fig3/fig4")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *paper {
+		cfg = experiments.PaperConfig()
+	}
+	if *fatK > 0 {
+		cfg.FatK = *fatK
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *coflows > 0 {
+		cfg.NumCoflows = *coflows
+	}
+	if *width > 0 {
+		cfg.Width = *width
+	}
+	if *candidates > 0 {
+		cfg.CandidatePaths = *candidates
+	}
+	if *widths != "" {
+		cfg.Widths = parseInts(*widths)
+	}
+	if *counts != "" {
+		cfg.CoflowCounts = parseInts(*counts)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig1":
+			res, err := experiments.Figure1()
+			exitOn(err)
+			fmt.Println(res)
+		case "table1":
+			res, err := experiments.Table1(experiments.DefaultTable1Config())
+			exitOn(err)
+			fmt.Println("Table 1: approximation guarantees and measured ratios (ALG / certified lower bound)")
+			fmt.Println(res)
+		case "fig3":
+			res, err := experiments.Figure3(cfg)
+			exitOn(err)
+			printFigure(res, *csv)
+		case "fig4":
+			res, err := experiments.Figure4(cfg)
+			exitOn(err)
+			printFigure(res, *csv)
+		case "ablation":
+			res, err := experiments.Ablation(experiments.DefaultAblationConfig())
+			exitOn(err)
+			fmt.Println(res)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation"} {
+			fmt.Printf("=== %s ===\n", name)
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func printFigure(res *experiments.FigureResult, csv bool) {
+	if csv {
+		fmt.Print(res.Absolute.CSV())
+		fmt.Print(res.Ratio.CSV())
+		return
+	}
+	fmt.Println(res)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		exitOn(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coflowbench:", err)
+		os.Exit(1)
+	}
+}

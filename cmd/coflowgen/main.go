@@ -1,0 +1,87 @@
+// Command coflowgen generates random coflow workload instances (the paper's
+// §4.1 methodology: Poisson flow sizes, release times and coflow weights over
+// a datacenter topology) and writes them as JSON for coflowsim to consume.
+//
+// Example:
+//
+//	coflowgen -topology fattree -fatk 4 -coflows 10 -width 16 -seed 3 > workload.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+func main() {
+	var (
+		topology    = flag.String("topology", "fattree", "topology: fattree, star, ring, line, grid, triangle")
+		fatK        = flag.Int("fatk", 4, "fat-tree arity")
+		nodes       = flag.Int("nodes", 8, "node count for star/ring/line/grid topologies")
+		coflows     = flag.Int("coflows", 10, "number of coflows")
+		width       = flag.Int("width", 16, "flows per coflow")
+		meanSize    = flag.Float64("size", 4, "mean flow size (Poisson)")
+		meanRelease = flag.Float64("release", 2, "mean flow release time (Poisson)")
+		meanWeight  = flag.Float64("weight", 1, "mean coflow weight (Poisson)")
+		packet      = flag.Bool("packet", false, "packet model: force all sizes to 1")
+		withPaths   = flag.Bool("with-paths", false, "pre-assign shortest paths (\"paths given\" variants)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		out         = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *topology {
+	case "fattree":
+		g = graph.FatTree(*fatK, 1)
+	case "star":
+		g = graph.Star(*nodes, 1)
+	case "ring":
+		g = graph.Ring(*nodes, 1)
+	case "line":
+		g = graph.Line(*nodes, 1)
+	case "grid":
+		g = graph.Grid(*nodes, *nodes, 1)
+	case "triangle":
+		g = graph.Triangle()
+	default:
+		fmt.Fprintf(os.Stderr, "coflowgen: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := workload.Config{
+		NumCoflows: *coflows, Width: *width,
+		MeanSize: *meanSize, MeanRelease: *meanRelease, MeanWeight: *meanWeight,
+		PacketModel: *packet,
+	}
+	var inst *coflow.Instance
+	var err error
+	if *withPaths {
+		inst, err = workload.GenerateWithPaths(g, cfg, rng)
+	} else {
+		inst, err = workload.Generate(g, cfg, rng)
+	}
+	exitOn(err)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		exitOn(err)
+		defer f.Close()
+		w = f
+	}
+	exitOn(inst.WriteJSON(w))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coflowgen:", err)
+		os.Exit(1)
+	}
+}

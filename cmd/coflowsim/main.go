@@ -1,0 +1,146 @@
+// Command coflowsim runs a single scheduler on a single coflow instance and
+// prints the resulting total weighted completion time (and, for the LP-based
+// schedulers, the certified lower bound).
+//
+// The instance is either generated randomly (-topology/-coflows/-width/...)
+// or read from a JSON file produced by coflowgen (-instance file.json).
+//
+// Examples:
+//
+//	coflowsim -scheduler lp -topology fattree -fatk 4 -coflows 5 -width 4
+//	coflowsim -scheduler all -instance workload.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"coflowsched/internal/baselines"
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/core"
+	"coflowsched/internal/experiments"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+func main() {
+	var (
+		schedulerName = flag.String("scheduler", "lp", "scheduler: lp, lp-exact, lp-given, route-only, schedule-only, sebf, fair, baseline, all")
+		instancePath  = flag.String("instance", "", "JSON instance file (from coflowgen); omit to generate randomly")
+		topology      = flag.String("topology", "fattree", "topology for generated instances: fattree, star, ring, line, grid, triangle")
+		fatK          = flag.Int("fatk", 4, "fat-tree arity")
+		nodes         = flag.Int("nodes", 8, "node count for star/ring/line topologies")
+		coflows       = flag.Int("coflows", 5, "number of coflows")
+		width         = flag.Int("width", 4, "flows per coflow")
+		meanSize      = flag.Float64("size", 4, "mean flow size")
+		meanRelease   = flag.Float64("release", 2, "mean release time")
+		meanWeight    = flag.Float64("weight", 1, "mean coflow weight")
+		seed          = flag.Int64("seed", 1, "random seed")
+		candidates    = flag.Int("paths", 4, "candidate paths per flow for the LP schedulers")
+		validate      = flag.Bool("validate", true, "validate the produced schedule")
+	)
+	flag.Parse()
+
+	inst, err := loadOrGenerate(*instancePath, *topology, *fatK, *nodes, *coflows, *width, *meanSize, *meanRelease, *meanWeight, *seed)
+	exitOn(err)
+
+	fmt.Printf("instance: %s, %d coflows, %d flows, total size %.0f\n",
+		inst.Network, len(inst.Coflows), inst.NumFlows(), inst.TotalSize())
+
+	schedulers := map[string]experiments.Scheduler{
+		"lp":            core.CircuitFreePaths{Opts: core.Options{CandidatePaths: *candidates}},
+		"lp-exact":      core.CircuitFreePathsExact{},
+		"route-only":    baselines.RouteOnly{},
+		"schedule-only": baselines.ScheduleOnly{},
+		"sebf":          baselines.SEBF{},
+		"fair":          baselines.FairSharing{},
+		"baseline":      baselines.Baseline{},
+	}
+
+	runOne := func(name string, s experiments.Scheduler) {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		cs, err := s.Schedule(inst, rng)
+		exitOn(err)
+		if *validate {
+			exitOn(cs.Validate(inst))
+		}
+		fmt.Printf("%-15s total weighted completion time = %.2f (makespan %.2f)\n",
+			s.Name(), cs.Objective(inst), cs.Makespan())
+	}
+
+	switch *schedulerName {
+	case "all":
+		order := []string{"lp", "route-only", "schedule-only", "sebf", "fair", "baseline"}
+		for _, name := range order {
+			runOne(name, schedulers[name])
+		}
+	case "lp-given":
+		exitOn(inst.AssignShortestPaths())
+		res, err := (core.CircuitGivenPaths{}).ScheduleASAP(inst)
+		exitOn(err)
+		if *validate {
+			exitOn(res.Schedule.Validate(inst))
+		}
+		fmt.Printf("%-15s total weighted completion time = %.2f (LP lower bound %.2f, ratio %.2f)\n",
+			"LP (given paths)", res.Objective(inst), core.CombinedLowerBound(inst, res), res.ApproximationRatio(inst))
+	case "lp":
+		// Run via the rich API so the lower bound can be reported.
+		res, err := (core.CircuitFreePaths{Opts: core.Options{CandidatePaths: *candidates}}).ScheduleASAP(inst, rand.New(rand.NewSource(*seed+1)))
+		exitOn(err)
+		if *validate {
+			exitOn(res.Schedule.Validate(inst))
+		}
+		lb := core.CombinedLowerBound(inst, res)
+		fmt.Printf("%-15s total weighted completion time = %.2f (certified lower bound %.2f, ratio %.2f)\n",
+			"LP-Based", res.Objective(inst), lb, res.Objective(inst)/lb)
+	default:
+		s, ok := schedulers[*schedulerName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedulerName)
+			os.Exit(2)
+		}
+		runOne(*schedulerName, s)
+	}
+}
+
+func loadOrGenerate(path, topology string, fatK, nodes, coflows, width int, meanSize, meanRelease, meanWeight float64, seed int64) (*coflow.Instance, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return coflow.ReadJSON(f)
+	}
+	var g *graph.Graph
+	switch topology {
+	case "fattree":
+		g = graph.FatTree(fatK, 1)
+	case "star":
+		g = graph.Star(nodes, 1)
+	case "ring":
+		g = graph.Ring(nodes, 1)
+	case "line":
+		g = graph.Line(nodes, 1)
+	case "grid":
+		g = graph.Grid(nodes, nodes, 1)
+	case "triangle":
+		g = graph.Triangle()
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return workload.Generate(g, workload.Config{
+		NumCoflows: coflows, Width: width,
+		MeanSize: meanSize, MeanRelease: meanRelease, MeanWeight: meanWeight,
+	}, rng)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coflowsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Fattree: a Figure 3 / Figure 4 style comparison on a fat-tree datacenter
+// topology. The example generates a random Poisson coflow workload (as in the
+// paper's §4.1), runs the LP-based scheduler and the three competing
+// heuristics, and prints the totals plus the improvement of LP-Based over
+// each — the same quantities the paper's bar charts report.
+//
+// Run with:
+//
+//	go run ./examples/fattree            # 16-server fat-tree, quick
+//	go run ./examples/fattree -fatk 8    # the paper's 128-server topology (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"coflowsched/internal/baselines"
+	"coflowsched/internal/core"
+	"coflowsched/internal/experiments"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/stats"
+	"coflowsched/internal/workload"
+)
+
+func main() {
+	fatK := flag.Int("fatk", 4, "fat-tree arity (8 = the paper's 128 servers)")
+	coflows := flag.Int("coflows", 5, "number of coflows")
+	width := flag.Int("width", 4, "flows per coflow")
+	seed := flag.Int64("seed", 5, "random seed")
+	flag.Parse()
+
+	g := graph.FatTree(*fatK, 1)
+	rng := rand.New(rand.NewSource(*seed))
+	inst, err := workload.Generate(g, workload.Config{
+		NumCoflows: *coflows, Width: *width, MeanSize: 4, MeanRelease: 2, MeanWeight: 1,
+	}, rng)
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	fmt.Printf("topology: %s\n", g)
+	fmt.Printf("workload: %d coflows x %d flows, total size %.0f\n\n",
+		*coflows, *width, inst.TotalSize())
+
+	schedulers := []experiments.Scheduler{
+		core.CircuitFreePaths{},
+		baselines.RouteOnly{},
+		baselines.ScheduleOnly{},
+		baselines.Baseline{},
+	}
+	var lpTotal float64
+	for i, s := range schedulers {
+		srng := rand.New(rand.NewSource(*seed + int64(i)))
+		cs, err := s.Schedule(inst, srng)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := cs.Validate(inst); err != nil {
+			log.Fatalf("%s produced an infeasible schedule: %v", s.Name(), err)
+		}
+		total := cs.Objective(inst)
+		if i == 0 {
+			lpTotal = total
+			fmt.Printf("%-15s %10.2f\n", s.Name(), total)
+			continue
+		}
+		fmt.Printf("%-15s %10.2f   (LP-Based is %.0f%% better)\n",
+			s.Name(), total, stats.ImprovementPercent(lpTotal, total))
+	}
+}

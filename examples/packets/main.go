@@ -1,0 +1,75 @@
+// Packets: packet-based coflows (§3 of the paper) on a mesh. Every flow is a
+// single packet; at each discrete step an edge can carry one packet. The
+// example compares the §3.1 algorithm (paths given: LP + unit-time job-shop
+// list scheduling) with the §3.2 algorithm (paths not given: LP + earliest-
+// arrival routing over the time-expanded graph), on the same workload.
+//
+// Run with:
+//
+//	go run ./examples/packets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"coflowsched/internal/core"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 3, "grid rows")
+	cols := flag.Int("cols", 4, "grid columns")
+	coflows := flag.Int("coflows", 4, "number of coflows")
+	width := flag.Int("width", 4, "packets per coflow")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	g := graph.Grid(*rows, *cols, 1)
+	rng := rand.New(rand.NewSource(*seed))
+	inst, err := workload.Generate(g, workload.Config{
+		NumCoflows: *coflows, Width: *width, PacketModel: true, MeanRelease: 1,
+	}, rng)
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	fmt.Printf("topology: %s, %d coflows x %d packets\n\n", g, *coflows, *width)
+
+	// §3.1 — paths given: pin every packet to a shortest path, then schedule.
+	withPaths := inst.Clone()
+	if err := withPaths.AssignShortestPaths(); err != nil {
+		log.Fatal(err)
+	}
+	given, err := (core.PacketGivenPaths{}).Schedule(withPaths)
+	if err != nil {
+		log.Fatalf("packet given paths: %v", err)
+	}
+	if err := given.Schedule.Validate(withPaths); err != nil {
+		log.Fatalf("infeasible: %v", err)
+	}
+	fmt.Printf("§3.1 paths given    : total weighted completion %.0f (makespan %.0f, LP bound %.1f)\n",
+		given.Objective(withPaths), given.Schedule.Makespan(), given.LowerBound)
+
+	// §3.2 — paths not given: the algorithm routes and schedules.
+	free, err := (core.PacketFreePaths{}).ScheduleASAP(inst, rng)
+	if err != nil {
+		log.Fatalf("packet free paths: %v", err)
+	}
+	if err := free.Schedule.Validate(inst); err != nil {
+		log.Fatalf("infeasible: %v", err)
+	}
+	fmt.Printf("§3.2 paths not given: total weighted completion %.0f (makespan %.0f, LP bound %.1f)\n",
+		free.Objective(inst), free.Schedule.Makespan(), free.LowerBound)
+
+	phased, err := (core.PacketFreePaths{}).SchedulePhased(inst, rng)
+	if err != nil {
+		log.Fatalf("packet phased: %v", err)
+	}
+	fmt.Printf("§3.2 phased rounding: total weighted completion %.0f (makespan %.0f)\n",
+		phased.Objective(inst), phased.Schedule.Makespan())
+	fmt.Println("\nFree routing lets packets fan out over the mesh instead of queueing on the")
+	fmt.Println("shortest paths, which is the point of the §3.2 time-expanded-graph algorithm.")
+}

@@ -1,0 +1,29 @@
+// Triangle: the paper's Figure 1 walkthrough. Three coflows compete on a
+// triangle network with unit link capacities; the example prints the total
+// completion time of fair sharing (s1), strict coflow priority (s2), and the
+// LP-based schedule (s3), reproducing the figure's "10 vs 8 vs optimal"
+// narrative.
+//
+// Run with:
+//
+//	go run ./examples/triangle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coflowsched/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Figure1()
+	if err != nil {
+		log.Fatalf("figure 1: %v", err)
+	}
+	fmt.Print(res)
+	fmt.Println()
+	fmt.Println("The LP-based schedule lets coflow C run beside coflow A (they share no link)")
+	fmt.Println("and squeezes coflow B into the gap left on edge y->z, which is exactly the")
+	fmt.Println("insight behind the paper's Figure 1 optimal schedule (s3).")
+}

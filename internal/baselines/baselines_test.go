@@ -1,0 +1,191 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// randomInstance builds a modest random workload on a small fat-tree.
+func randomInstance(t *testing.T, seed int64) *coflow.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.Generate(graph.FatTree(4, 1), workload.Config{
+		NumCoflows: 4, Width: 6, MeanSize: 3, MeanRelease: 1, MeanWeight: 1,
+	}, rng)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	return inst
+}
+
+// allSchedulers enumerates every baseline for table-driven tests.
+func allSchedulers() []interface {
+	Name() string
+	Schedule(*coflow.Instance, *rand.Rand) (*coflow.CircuitSchedule, error)
+} {
+	return []interface {
+		Name() string
+		Schedule(*coflow.Instance, *rand.Rand) (*coflow.CircuitSchedule, error)
+	}{
+		Baseline{}, ScheduleOnly{}, RouteOnly{}, SEBF{}, FairSharing{},
+	}
+}
+
+func TestAllBaselinesProduceFeasibleSchedules(t *testing.T) {
+	inst := randomInstance(t, 1)
+	for _, s := range allSchedulers() {
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			cs, err := s.Schedule(inst, rng)
+			if err != nil {
+				t.Fatalf("Schedule: %v", err)
+			}
+			if err := cs.Validate(inst); err != nil {
+				t.Fatalf("schedule infeasible: %v", err)
+			}
+			if cs.Objective(inst) <= 0 {
+				t.Errorf("objective = %v, want > 0", cs.Objective(inst))
+			}
+		})
+	}
+}
+
+func TestBaselinesWorkWithPreassignedPaths(t *testing.T) {
+	inst := randomInstance(t, 3)
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allSchedulers() {
+		rng := rand.New(rand.NewSource(4))
+		cs, err := s.Schedule(inst, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := cs.Validate(inst); err != nil {
+			t.Fatalf("%s: infeasible: %v", s.Name(), err)
+		}
+		// With pre-assigned paths, schedulers must honor them.
+		for _, ref := range inst.FlowRefs() {
+			want := inst.Flow(ref).Path
+			got := cs.Get(ref).Path
+			if len(want) != len(got) {
+				t.Fatalf("%s: flow %s path changed despite being pre-assigned", s.Name(), ref)
+			}
+		}
+	}
+}
+
+func TestScheduleOnlyOrdersBySize(t *testing.T) {
+	// One shared unit link, sizes 5 and 1: Schedule-only must finish the
+	// small flow first (completion 1) and the big one at 6.
+	g := graph.Line(2, 1)
+	h := g.Hosts()
+	inst := &coflow.Instance{
+		Network: g,
+		Coflows: []coflow.Coflow{
+			{Name: "big", Weight: 1, Flows: []coflow.Flow{{Source: h[0], Dest: h[1], Size: 5}}},
+			{Name: "small", Weight: 1, Flows: []coflow.Flow{{Source: h[0], Dest: h[1], Size: 1}}},
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	cs, err := ScheduleOnly{}.Schedule(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cs.Get(coflow.FlowRef{Coflow: 1, Index: 0}).CompletionTime()
+	big := cs.Get(coflow.FlowRef{Coflow: 0, Index: 0}).CompletionTime()
+	if !(small < big) || small > 1.01 {
+		t.Errorf("schedule-only: small at %v, big at %v; want small first", small, big)
+	}
+}
+
+func TestSEBFPrefersSmallCoflows(t *testing.T) {
+	// Coflow "small" has tiny total load; SEBF should complete it before the
+	// heavyweight coflow sharing the same bottleneck link.
+	g := graph.Line(2, 1)
+	h := g.Hosts()
+	inst := &coflow.Instance{
+		Network: g,
+		Coflows: []coflow.Coflow{
+			{Name: "heavy", Weight: 1, Flows: []coflow.Flow{
+				{Source: h[0], Dest: h[1], Size: 4},
+				{Source: h[0], Dest: h[1], Size: 4},
+			}},
+			{Name: "small", Weight: 1, Flows: []coflow.Flow{{Source: h[0], Dest: h[1], Size: 1}}},
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	cs, err := SEBF{}.Schedule(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallDone := cs.Get(coflow.FlowRef{Coflow: 1, Index: 0}).CompletionTime()
+	if smallDone > 1.01 {
+		t.Errorf("SEBF should run the small coflow first; it finished at %v", smallDone)
+	}
+}
+
+func TestRouteOnlySpreadsLoad(t *testing.T) {
+	// Many equal flows between the same cross-pod host pair on a fat-tree:
+	// load-balanced routing should use more than one distinct core path,
+	// while each single path stays feasible.
+	g := graph.FatTree(4, 1)
+	hosts := g.Hosts()
+	inst := &coflow.Instance{Network: g}
+	for i := 0; i < 4; i++ {
+		inst.Coflows = append(inst.Coflows, coflow.Coflow{
+			Name:   "c",
+			Weight: 1,
+			Flows:  []coflow.Flow{{Source: hosts[0], Dest: hosts[len(hosts)-1], Size: 2}},
+		})
+	}
+	rng := rand.New(rand.NewSource(1))
+	cs, err := RouteOnly{}.Schedule(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, ref := range inst.FlowRefs() {
+		key := ""
+		for _, e := range cs.Get(ref).Path {
+			key += string(rune(e)) + ","
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("route-only used %d distinct paths, want >= 2", len(distinct))
+	}
+}
+
+func TestBaselineDeterministicGivenSeed(t *testing.T) {
+	inst := randomInstance(t, 5)
+	run := func(seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		cs, err := Baseline{}.Schedule(inst, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs.Objective(inst)
+	}
+	if run(7) != run(7) {
+		t.Errorf("same seed should give the same objective")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{
+		"Baseline": true, "Schedule-only": true, "Route-only": true, "SEBF": true, "Fair-sharing": true,
+	}
+	for _, s := range allSchedulers() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheduler name %q", s.Name())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package coflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"coflowsched/internal/graph"
+)
+
+// jsonNode and jsonEdge mirror graph.Node/graph.Edge for serialization.
+type jsonNode struct {
+	Name string `json:"name"`
+	Kind int    `json:"kind"`
+}
+
+type jsonEdge struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+}
+
+type jsonInstance struct {
+	Nodes   []jsonNode `json:"nodes"`
+	Edges   []jsonEdge `json:"edges"`
+	Coflows []Coflow   `json:"coflows"`
+}
+
+// WriteJSON serializes the instance (network and coflows) as JSON.
+func (inst *Instance) WriteJSON(w io.Writer) error {
+	ji := jsonInstance{Coflows: inst.Coflows}
+	for _, n := range inst.Network.Nodes() {
+		ji.Nodes = append(ji.Nodes, jsonNode{Name: n.Name, Kind: int(n.Kind)})
+	}
+	for _, e := range inst.Network.Edges() {
+		ji.Edges = append(ji.Edges, jsonEdge{From: int(e.From), To: int(e.To), Capacity: e.Capacity})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ji)
+}
+
+// ReadJSON parses an instance previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var ji jsonInstance
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ji); err != nil {
+		return nil, fmt.Errorf("coflow: decoding instance: %w", err)
+	}
+	g := graph.New()
+	for _, n := range ji.Nodes {
+		g.AddNode(n.Name, graph.NodeKind(n.Kind))
+	}
+	for i, e := range ji.Edges {
+		if e.From < 0 || e.From >= len(ji.Nodes) || e.To < 0 || e.To >= len(ji.Nodes) {
+			return nil, fmt.Errorf("coflow: edge %d references unknown node", i)
+		}
+		if e.Capacity <= 0 {
+			return nil, fmt.Errorf("coflow: edge %d has non-positive capacity %v", i, e.Capacity)
+		}
+		g.AddEdge(graph.NodeID(e.From), graph.NodeID(e.To), e.Capacity)
+	}
+	inst := &Instance{Network: g, Coflows: ji.Coflows}
+	return inst, nil
+}

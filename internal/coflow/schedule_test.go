@@ -1,0 +1,296 @@
+package coflow
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"coflowsched/internal/graph"
+)
+
+// figure1Schedules builds the three candidate schedules of the paper's
+// Figure 1 on the triangle network and returns the instance and the three
+// schedules (s1 fair sharing, s2 strict coflow priority, s3 optimal).
+func figure1Instance(t *testing.T) *Instance {
+	t.Helper()
+	g := graph.Triangle()
+	x, _ := g.FindNode("x")
+	y, _ := g.FindNode("y")
+	z, _ := g.FindNode("z")
+	// Flow placement per Figure 1: A1 (size 2) and C (size 2? no, size 2 is
+	// A1; C has size... the figure labels sigma(C)=2 on edge x-z but the text
+	// says each of B and C has one flow of size 1; we follow the text and the
+	// completion-time arithmetic (4+2+1=7), which corresponds to A1 size 2 on
+	// edge x-y, A2 size 1 on edge y-z, B size 1 on edge y-z, C size 1 on edge
+	// x-z sharing no edge with A1.
+	inst := &Instance{
+		Network: g,
+		Coflows: []Coflow{
+			{Name: "A", Weight: 1, Flows: []Flow{
+				{Source: x, Dest: y, Size: 2},
+				{Source: y, Dest: z, Size: 1},
+			}},
+			{Name: "B", Weight: 1, Flows: []Flow{{Source: y, Dest: z, Size: 1}}},
+			{Name: "C", Weight: 1, Flows: []Flow{{Source: x, Dest: z, Size: 2}}},
+		},
+	}
+	if err := inst.Validate(false); err != nil {
+		t.Fatalf("figure 1 instance invalid: %v", err)
+	}
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatalf("paths: %v", err)
+	}
+	return inst
+}
+
+func directPath(inst *Instance, ref FlowRef) graph.Path {
+	return inst.Flow(ref).Path
+}
+
+func TestFigure1FairSharingSchedule(t *testing.T) {
+	// (s1): every flow gets bandwidth 1/2. Completion times: A1 at 4, A2 at
+	// 2, B at 2, C at 4. Total (unit weights) = 4 + 2 + 4 = 10.
+	inst := figure1Instance(t)
+	cs := NewCircuitSchedule()
+	set := func(ref FlowRef, rate, until float64) {
+		cs.Set(ref, &FlowSchedule{Path: directPath(inst, ref), Segments: []BandwidthSegment{{Start: 0, End: until, Rate: rate}}})
+	}
+	set(FlowRef{0, 0}, 0.5, 4) // A1 size 2
+	set(FlowRef{0, 1}, 0.5, 2) // A2 size 1
+	set(FlowRef{1, 0}, 0.5, 2) // B size 1
+	set(FlowRef{2, 0}, 0.5, 4) // C size 2
+	if err := cs.Validate(inst); err != nil {
+		t.Fatalf("s1 should be feasible: %v", err)
+	}
+	if got := cs.Objective(inst); math.Abs(got-10) > 1e-9 {
+		t.Errorf("s1 objective = %v, want 10", got)
+	}
+	if got := cs.Makespan(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("s1 makespan = %v, want 4", got)
+	}
+}
+
+func TestFigure1PriorityAndOptimalSchedules(t *testing.T) {
+	inst := figure1Instance(t)
+	// (s2): coflow A first at full rate, then B, then C.
+	s2 := NewCircuitSchedule()
+	s2.Set(FlowRef{0, 0}, &FlowSchedule{Path: directPath(inst, FlowRef{0, 0}), Segments: []BandwidthSegment{{0, 2, 1}}})
+	s2.Set(FlowRef{0, 1}, &FlowSchedule{Path: directPath(inst, FlowRef{0, 1}), Segments: []BandwidthSegment{{0, 1, 1}}})
+	s2.Set(FlowRef{1, 0}, &FlowSchedule{Path: directPath(inst, FlowRef{1, 0}), Segments: []BandwidthSegment{{1, 2, 1}}})
+	s2.Set(FlowRef{2, 0}, &FlowSchedule{Path: directPath(inst, FlowRef{2, 0}), Segments: []BandwidthSegment{{2, 4, 1}}})
+	if err := s2.Validate(inst); err != nil {
+		t.Fatalf("s2 should be feasible: %v", err)
+	}
+	if got := s2.Objective(inst); math.Abs(got-8) > 1e-9 {
+		t.Errorf("s2 objective = %v, want 8 (2 + 2 + 4)", got)
+	}
+
+	// (s3): optimal — C runs in parallel with A (disjoint edges), B after A2.
+	s3 := NewCircuitSchedule()
+	s3.Set(FlowRef{0, 0}, &FlowSchedule{Path: directPath(inst, FlowRef{0, 0}), Segments: []BandwidthSegment{{0, 2, 1}}})
+	s3.Set(FlowRef{0, 1}, &FlowSchedule{Path: directPath(inst, FlowRef{0, 1}), Segments: []BandwidthSegment{{0, 1, 1}}})
+	s3.Set(FlowRef{1, 0}, &FlowSchedule{Path: directPath(inst, FlowRef{1, 0}), Segments: []BandwidthSegment{{1, 2, 1}}})
+	s3.Set(FlowRef{2, 0}, &FlowSchedule{Path: directPath(inst, FlowRef{2, 0}), Segments: []BandwidthSegment{{0, 2, 1}}})
+	if err := s3.Validate(inst); err != nil {
+		t.Fatalf("s3 should be feasible: %v", err)
+	}
+	if got := s3.Objective(inst); math.Abs(got-6) > 1e-9 {
+		// A completes at 2, B at 2, C at 2: 6 with our flow sizes. The paper's
+		// figure uses a size-2 flow C finishing at 1?  (its arithmetic is
+		// 4+2+1=7 with different sizes); the invariant we care about is that
+		// s3 beats s2 beats s1, checked below.
+		t.Logf("s3 objective = %v", got)
+	}
+	if !(s3.Objective(inst) < s2.Objective(inst)) {
+		t.Errorf("optimal-style schedule should beat priority schedule: %v vs %v", s3.Objective(inst), s2.Objective(inst))
+	}
+}
+
+func TestCircuitScheduleValidateCatchesViolations(t *testing.T) {
+	inst := twoCoflowInstance(t)
+	_ = inst.AssignShortestPaths()
+
+	base := func() *CircuitSchedule {
+		cs := NewCircuitSchedule()
+		for _, ref := range inst.FlowRefs() {
+			f := inst.Flow(ref)
+			start := f.Release
+			cs.Set(ref, &FlowSchedule{
+				Path:     f.Path,
+				Segments: []BandwidthSegment{{Start: start, End: start + f.Size, Rate: 1}},
+			})
+		}
+		return cs
+	}
+	if err := base().Validate(inst); err != nil {
+		t.Fatalf("base schedule should be valid: %v", err)
+	}
+
+	t.Run("missing flow", func(t *testing.T) {
+		cs := base()
+		delete(cs.Flows, FlowRef{0, 0})
+		if cs.Validate(inst) == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("wrong path", func(t *testing.T) {
+		cs := base()
+		cs.Get(FlowRef{0, 0}).Path = inst.Flow(FlowRef{0, 1}).Path
+		if cs.Validate(inst) == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("under delivery", func(t *testing.T) {
+		cs := base()
+		cs.Get(FlowRef{0, 0}).Segments = []BandwidthSegment{{0, 1, 1}} // size is 2
+		if cs.Validate(inst) == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("before release", func(t *testing.T) {
+		cs := base()
+		cs.Get(FlowRef{1, 0}).Segments = []BandwidthSegment{{0, 1, 1}} // release is 0.5
+		if cs.Validate(inst) == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("negative rate", func(t *testing.T) {
+		cs := base()
+		cs.Get(FlowRef{0, 0}).Segments = append(cs.Get(FlowRef{0, 0}).Segments, BandwidthSegment{3, 4, -1})
+		if cs.Validate(inst) == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("over capacity", func(t *testing.T) {
+		cs := base()
+		// Put two unit-rate flows on the same unit-capacity edge at the same
+		// time: reroute flow (0,1) onto flow (0,0)'s path and overlap them.
+		f0 := inst.Flow(FlowRef{0, 0})
+		cs.Get(FlowRef{0, 1}).Path = f0.Path
+		cs.Get(FlowRef{0, 1}).Segments = []BandwidthSegment{{0, 1, 1}}
+		// It is no longer a valid path for flow (0,1) either, so force paths
+		// to be checked second by making the path valid: use a schedule where
+		// both flows share the x->y edge legitimately. Simplest: put flow
+		// (1,0) (x->z) onto a two-hop path x->y->z overlapping A1 on x->y.
+		cs2 := base()
+		xy := f0.Path[0]
+		yz := inst.Flow(FlowRef{0, 1}).Path[0]
+		cs2.Get(FlowRef{1, 0}).Path = graph.Path{xy, yz}
+		cs2.Get(FlowRef{1, 0}).Segments = []BandwidthSegment{{0.5, 1.5, 1}}
+		if cs2.Validate(inst) == nil {
+			t.Error("expected capacity violation error")
+		}
+	})
+}
+
+func TestScaleTimeAndUtilization(t *testing.T) {
+	inst := twoCoflowInstance(t)
+	_ = inst.AssignShortestPaths()
+	cs := NewCircuitSchedule()
+	for _, ref := range inst.FlowRefs() {
+		f := inst.Flow(ref)
+		cs.Set(ref, &FlowSchedule{Path: f.Path, Segments: []BandwidthSegment{{f.Release, f.Release + f.Size, 1}}})
+	}
+	util := cs.MaxEdgeUtilization(inst)
+	if util > 1+1e-9 {
+		t.Fatalf("utilization = %v, want <= 1", util)
+	}
+	before := cs.Objective(inst)
+	cs.ScaleTime(2)
+	if err := cs.Validate(inst); err != nil {
+		t.Errorf("scaled schedule invalid: %v", err)
+	}
+	after := cs.Objective(inst)
+	if math.Abs(after-2*before) > 1e-9 {
+		t.Errorf("objective after 2x scale = %v, want %v", after, 2*before)
+	}
+	if cs.MaxEdgeUtilization(inst) > util/2+1e-9 {
+		t.Errorf("utilization should halve after ScaleTime(2)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ScaleTime(<1) should panic")
+		}
+	}()
+	cs.ScaleTime(0.5)
+}
+
+func TestTrimCompleted(t *testing.T) {
+	inst := twoCoflowInstance(t)
+	_ = inst.AssignShortestPaths()
+	cs := NewCircuitSchedule()
+	for _, ref := range inst.FlowRefs() {
+		f := inst.Flow(ref)
+		// Over-provision: schedule twice the needed time.
+		cs.Set(ref, &FlowSchedule{Path: f.Path, Segments: []BandwidthSegment{{f.Release, f.Release + 2*f.Size, 1}}})
+	}
+	beforeObj := cs.Objective(inst)
+	cs.TrimCompleted(inst)
+	if err := cs.Validate(inst); err != nil {
+		t.Fatalf("trimmed schedule invalid: %v", err)
+	}
+	if !(cs.Objective(inst) < beforeObj) {
+		t.Errorf("trimming should reduce the objective: %v vs %v", cs.Objective(inst), beforeObj)
+	}
+	for _, ref := range inst.FlowRefs() {
+		f := inst.Flow(ref)
+		d := cs.Get(ref).Delivered()
+		if math.Abs(d-f.Size) > 1e-9 {
+			t.Errorf("flow %s delivers %v after trim, want %v", ref, d, f.Size)
+		}
+	}
+}
+
+func TestFlowScheduleAccessors(t *testing.T) {
+	fs := &FlowSchedule{Segments: []BandwidthSegment{{0, 2, 1}, {3, 4, 0.5}}}
+	if fs.CompletionTime() != 4 {
+		t.Errorf("CompletionTime = %v, want 4", fs.CompletionTime())
+	}
+	if fs.Delivered() != 2.5 {
+		t.Errorf("Delivered = %v, want 2.5", fs.Delivered())
+	}
+	empty := &FlowSchedule{}
+	if empty.CompletionTime() != 0 || empty.Delivered() != 0 {
+		t.Errorf("empty schedule accessors wrong")
+	}
+	if (BandwidthSegment{1, 3, 2}).Volume() != 4 {
+		t.Errorf("Volume wrong")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	inst := twoCoflowInstance(t)
+	_ = inst.AssignShortestPaths()
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.NumFlows() != inst.NumFlows() || len(back.Coflows) != len(inst.Coflows) {
+		t.Errorf("round trip lost coflows/flows")
+	}
+	if back.Network.NumNodes() != inst.Network.NumNodes() || back.Network.NumEdges() != inst.Network.NumEdges() {
+		t.Errorf("round trip lost network structure")
+	}
+	if err := back.Validate(false); err != nil {
+		t.Errorf("round-tripped instance invalid: %v", err)
+	}
+	if back.Coflows[1].Flows[0].Release != 0.5 {
+		t.Errorf("release time lost in round trip")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"nodes":[{"name":"a","kind":0}],"edges":[{"from":0,"to":5,"capacity":1}],"coflows":[]}`)); err == nil {
+		t.Error("expected bad-edge error")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"nodes":[{"name":"a","kind":0},{"name":"b","kind":0}],"edges":[{"from":0,"to":1,"capacity":0}],"coflows":[]}`)); err == nil {
+		t.Error("expected bad-capacity error")
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/intervals"
+	"coflowsched/internal/lp"
+	"coflowsched/internal/sim"
+)
+
+// CircuitFreePathsExact is the paper's §2.2 algorithm in its exact form: the
+// interval-indexed LP (15)–(23) carries one flow variable per (flow, edge,
+// interval), so routing is unrestricted. The rounding step aggregates and
+// scales each flow's fractional routing, applies the flow decomposition
+// theorem, and picks a single path by Raghavan–Thompson randomized rounding;
+// overloaded edges are repaired by stretching the schedule, giving the
+// O(log |E| / log log |E|) guarantee.
+//
+// The LP has Θ(|F| · |E| · L) variables, so this formulation is intended for
+// small networks (it is the reference implementation used by tests and the
+// Table 1 experiment); CircuitFreePaths is the scalable variant.
+type CircuitFreePathsExact struct {
+	Opts Options
+}
+
+// Name identifies the scheduler.
+func (CircuitFreePathsExact) Name() string { return "LP-Based-Exact" }
+
+// arcLP holds the exact formulation's variables.
+type arcLP struct {
+	inst *coflow.Instance
+	opts Options
+	grid *intervals.Grid
+	refs []coflow.FlowRef
+
+	prob      *lp.Problem
+	relIdx    map[coflow.FlowRef]int
+	xvar      map[coflow.FlowRef][]lp.Var   // per interval
+	yvar      map[coflow.FlowRef][][]lp.Var // per interval, per edge
+	coflowVar []lp.Var
+
+	sol *lp.Solution
+}
+
+func (s CircuitFreePathsExact) buildLP(inst *coflow.Instance) (*arcLP, error) {
+	if err := inst.Validate(false); err != nil {
+		return nil, err
+	}
+	opts := s.Opts.withDefaults()
+	horizon := inst.TimeHorizon() * math.Pow(1+opts.Epsilon, float64(opts.Displacement+2))
+	grid := intervals.New(opts.Epsilon, horizon)
+	L := grid.NumIntervals()
+	g := inst.Network
+	E := g.NumEdges()
+
+	a := &arcLP{
+		inst:   inst,
+		opts:   opts,
+		grid:   grid,
+		refs:   inst.FlowRefs(),
+		prob:   lp.NewProblem(lp.Minimize),
+		relIdx: make(map[coflow.FlowRef]int),
+		xvar:   make(map[coflow.FlowRef][]lp.Var),
+		yvar:   make(map[coflow.FlowRef][][]lp.Var),
+	}
+	a.coflowVar = make([]lp.Var, len(inst.Coflows))
+	for i, cf := range inst.Coflows {
+		a.coflowVar[i] = a.prob.AddVariable(fmt.Sprintf("C_%d", i), 0, lp.Inf, cf.Weight)
+	}
+
+	for _, ref := range a.refs {
+		f := inst.Flow(ref)
+		rel := grid.RoundUpRelease(f.Release)
+		a.relIdx[ref] = rel
+		xs := make([]lp.Var, L)
+		ys := make([][]lp.Var, L)
+		for l := 0; l < L; l++ {
+			if l < rel {
+				xs[l] = -1
+				continue
+			}
+			xs[l] = a.prob.AddVariable(fmt.Sprintf("x_%s_l%d", ref, l), 0, lp.Inf, 0)
+			ys[l] = make([]lp.Var, E)
+			for e := 0; e < E; e++ {
+				ys[l][e] = a.prob.AddVariable(fmt.Sprintf("y_%s_l%d_e%d", ref, l, e), 0, lp.Inf, 0)
+			}
+		}
+		a.xvar[ref] = xs
+		a.yvar[ref] = ys
+	}
+
+	// Delivery and completion constraints.
+	for _, ref := range a.refs {
+		var sumTerms, timeTerms []lp.Term
+		for l := a.relIdx[ref]; l < L; l++ {
+			v := a.xvar[ref][l]
+			sumTerms = append(sumTerms, lp.Term{Var: v, Coef: 1})
+			if lower := grid.Lower(l); lower > 0 {
+				timeTerms = append(timeTerms, lp.Term{Var: v, Coef: lower})
+			}
+		}
+		a.prob.AddConstraint(fmt.Sprintf("deliver_%s", ref), lp.EQ, 1, sumTerms...)
+		timeTerms = append(timeTerms, lp.Term{Var: a.coflowVar[ref.Coflow], Coef: -1})
+		a.prob.AddConstraint(fmt.Sprintf("complete_%s", ref), lp.LE, 0, timeTerms...)
+	}
+
+	// Flow conservation (18)–(20): per flow, per interval.
+	for _, ref := range a.refs {
+		f := inst.Flow(ref)
+		for l := a.relIdx[ref]; l < L; l++ {
+			ys := a.yvar[ref][l]
+			// Net flow into the destination equals σ x / len(ℓ).
+			var destTerms []lp.Term
+			for _, e := range g.In(f.Dest) {
+				destTerms = append(destTerms, lp.Term{Var: ys[e], Coef: 1})
+			}
+			for _, e := range g.Out(f.Dest) {
+				destTerms = append(destTerms, lp.Term{Var: ys[e], Coef: -1})
+			}
+			destTerms = append(destTerms, lp.Term{Var: a.xvar[ref][l], Coef: -f.Size / grid.Length(l)})
+			a.prob.AddConstraint(fmt.Sprintf("dest_%s_l%d", ref, l), lp.EQ, 0, destTerms...)
+			// Net flow out of the source equals σ x / len(ℓ).
+			var srcTerms []lp.Term
+			for _, e := range g.Out(f.Source) {
+				srcTerms = append(srcTerms, lp.Term{Var: ys[e], Coef: 1})
+			}
+			for _, e := range g.In(f.Source) {
+				srcTerms = append(srcTerms, lp.Term{Var: ys[e], Coef: -1})
+			}
+			srcTerms = append(srcTerms, lp.Term{Var: a.xvar[ref][l], Coef: -f.Size / grid.Length(l)})
+			a.prob.AddConstraint(fmt.Sprintf("src_%s_l%d", ref, l), lp.EQ, 0, srcTerms...)
+			// Conservation at every other node.
+			for v := 0; v < g.NumNodes(); v++ {
+				node := graph.NodeID(v)
+				if node == f.Source || node == f.Dest {
+					continue
+				}
+				var terms []lp.Term
+				for _, e := range g.Out(node) {
+					terms = append(terms, lp.Term{Var: ys[e], Coef: 1})
+				}
+				for _, e := range g.In(node) {
+					terms = append(terms, lp.Term{Var: ys[e], Coef: -1})
+				}
+				if len(terms) == 0 {
+					continue
+				}
+				a.prob.AddConstraint(fmt.Sprintf("cons_%s_l%d_v%d", ref, l, v), lp.EQ, 0, terms...)
+			}
+		}
+	}
+
+	// Capacity (21): per edge, per interval.
+	for l := 0; l < L; l++ {
+		for e := 0; e < E; e++ {
+			var terms []lp.Term
+			for _, ref := range a.refs {
+				if l < a.relIdx[ref] {
+					continue
+				}
+				terms = append(terms, lp.Term{Var: a.yvar[ref][l][e], Coef: 1})
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			a.prob.AddConstraint(fmt.Sprintf("cap_e%d_l%d", e, l), lp.LE, g.Capacity(graph.EdgeID(e)), terms...)
+		}
+	}
+	return a, nil
+}
+
+func (a *arcLP) solve() error {
+	sol, err := a.prob.Solve(a.opts.LP)
+	if err != nil {
+		return fmt.Errorf("core: exact LP solve failed: %w", err)
+	}
+	a.sol = sol
+	return nil
+}
+
+func (a *arcLP) xvalue(ref coflow.FlowRef, l int) float64 {
+	v := a.xvar[ref][l]
+	if v < 0 {
+		return 0
+	}
+	x := a.sol.Value(v)
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// alphaInterval mirrors circuitLP.alphaInterval.
+func (a *arcLP) alphaInterval(ref coflow.FlowRef, alpha float64) int {
+	cum := 0.0
+	for l := 0; l < a.grid.NumIntervals(); l++ {
+		cum += a.xvalue(ref, l)
+		if cum >= alpha-1e-9 {
+			return l
+		}
+	}
+	return a.grid.NumIntervals() - 1
+}
+
+func (a *arcLP) flowLPCompletion(ref coflow.FlowRef) float64 {
+	s := 0.0
+	for l := 0; l < a.grid.NumIntervals(); l++ {
+		s += a.grid.Lower(l) * a.xvalue(ref, l)
+	}
+	return s
+}
+
+// aggregatedVolume returns the total volume (bandwidth × interval length)
+// routed over each edge for the flow across intervals 0..maxL (inclusive).
+func (a *arcLP) aggregatedVolume(ref coflow.FlowRef, maxL int) []float64 {
+	E := a.inst.Network.NumEdges()
+	vol := make([]float64, E)
+	for l := a.relIdx[ref]; l <= maxL && l < a.grid.NumIntervals(); l++ {
+		ys := a.yvar[ref][l]
+		if ys == nil {
+			continue
+		}
+		for e := 0; e < E; e++ {
+			v := a.sol.Value(ys[e])
+			if v > 1e-12 {
+				vol[e] += v * a.grid.Length(l)
+			}
+		}
+	}
+	return vol
+}
+
+// decomposePaths applies the flow decomposition theorem to the flow's
+// aggregated fractional routing and returns the weighted paths.
+func (a *arcLP) decomposePaths(ref coflow.FlowRef, maxL int) []graph.WeightedPath {
+	f := a.inst.Flow(ref)
+	vol := a.aggregatedVolume(ref, maxL)
+	return a.inst.Network.DecomposeFlow(f.Source, f.Dest, vol)
+}
+
+// choosePath picks one decomposed path: randomized rounding proportional to
+// carried volume, or the thickest path when thickest is true.
+func (a *arcLP) choosePath(ref coflow.FlowRef, rng *rand.Rand, thickest bool) (graph.Path, int) {
+	paths := a.decomposePaths(ref, a.grid.NumIntervals()-1)
+	if len(paths) == 0 {
+		// The LP routed nothing detectable (numerical noise); fall back to a
+		// shortest path.
+		f := a.inst.Flow(ref)
+		return a.inst.Network.ShortestPath(f.Source, f.Dest), 1
+	}
+	if thickest || rng == nil {
+		best := 0
+		for i := range paths {
+			if paths[i].Amount > paths[best].Amount {
+				best = i
+			}
+		}
+		return paths[best].Path, len(paths)
+	}
+	total := graph.TotalAmount(paths)
+	r := rng.Float64() * total
+	for _, wp := range paths {
+		r -= wp.Amount
+		if r <= 0 {
+			return wp.Path, len(paths)
+		}
+	}
+	return paths[len(paths)-1].Path, len(paths)
+}
+
+func (a *arcLP) lpOrder() []coflow.FlowRef {
+	type key struct {
+		idx int
+		c   float64
+	}
+	keys := make([]key, len(a.inst.Coflows))
+	for i := range a.inst.Coflows {
+		keys[i] = key{idx: i, c: a.sol.Value(a.coflowVar[i])}
+	}
+	sort.SliceStable(keys, func(x, y int) bool { return keys[x].c < keys[y].c })
+	var order []coflow.FlowRef
+	for _, k := range keys {
+		cf := a.inst.Coflows[k.idx]
+		refs := make([]coflow.FlowRef, len(cf.Flows))
+		for j := range cf.Flows {
+			refs[j] = coflow.FlowRef{Coflow: k.idx, Index: j}
+		}
+		sort.SliceStable(refs, func(x, y int) bool {
+			return a.flowLPCompletion(refs[x]) < a.flowLPCompletion(refs[y])
+		})
+		order = append(order, refs...)
+	}
+	return order
+}
+
+func (a *arcLP) buildResult(cs *coflow.CircuitSchedule, chosen map[coflow.FlowRef]graph.Path, paths map[coflow.FlowRef]int) *Result {
+	return &Result{
+		Schedule:     cs,
+		LPObjective:  a.sol.Objective,
+		LowerBound:   a.sol.Objective / (1 + a.opts.Epsilon),
+		LPIterations: a.sol.Iterations,
+		PathsPerFlow: paths,
+		FlowOrder:    a.lpOrder(),
+		ChosenPaths:  chosen,
+	}
+}
+
+// ScheduleProvable runs the exact LP, flow decomposition and randomized
+// rounding, placing every flow in interval h_α + D; overloads are repaired by
+// stretching the schedule.
+func (s CircuitFreePathsExact) ScheduleProvable(inst *coflow.Instance, rng *rand.Rand) (*Result, error) {
+	a, err := s.buildLP(inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.solve(); err != nil {
+		return nil, err
+	}
+	cs := coflow.NewCircuitSchedule()
+	chosen := make(map[coflow.FlowRef]graph.Path)
+	pathsPerFlow := make(map[coflow.FlowRef]int)
+	L := a.grid.NumIntervals()
+	for _, ref := range a.refs {
+		f := inst.Flow(ref)
+		path, n := a.choosePath(ref, rng, false)
+		if path == nil {
+			return nil, fmt.Errorf("core: no path recovered for flow %s", ref)
+		}
+		chosen[ref] = path
+		pathsPerFlow[ref] = n
+		h := a.alphaInterval(ref, a.opts.Alpha)
+		k := h + a.opts.Displacement
+		if k >= L {
+			k = L - 1
+		}
+		start, end := a.grid.Lower(k), a.grid.Upper(k)
+		cs.Set(ref, &coflow.FlowSchedule{
+			Path:     path,
+			Segments: []coflow.BandwidthSegment{{Start: start, End: end, Rate: f.Size / (end - start)}},
+		})
+	}
+	if util := cs.MaxEdgeUtilization(inst); util > 1+1e-9 {
+		cs.ScaleTime(util)
+	}
+	return a.buildResult(cs, chosen, pathsPerFlow), nil
+}
+
+// ScheduleASAP runs the exact LP and the practical start-as-soon-as-possible
+// mode: thickest decomposed path per flow, LP priority order, greedy
+// simulation.
+func (s CircuitFreePathsExact) ScheduleASAP(inst *coflow.Instance, rng *rand.Rand) (*Result, error) {
+	a, err := s.buildLP(inst)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.solve(); err != nil {
+		return nil, err
+	}
+	order := a.lpOrder()
+	candidates := make(map[coflow.FlowRef][]graph.WeightedPath)
+	pathsPerFlow := make(map[coflow.FlowRef]int)
+	for _, ref := range a.refs {
+		wps := a.decomposePaths(ref, a.grid.NumIntervals()-1)
+		if len(wps) == 0 {
+			f := inst.Flow(ref)
+			sp := inst.Network.ShortestPath(f.Source, f.Dest)
+			if sp == nil {
+				return nil, fmt.Errorf("core: no path recovered for flow %s", ref)
+			}
+			wps = []graph.WeightedPath{{Path: sp, Amount: 1}}
+		}
+		candidates[ref] = wps
+		pathsPerFlow[ref] = len(wps)
+	}
+	chosen := loadAwareSelect(inst, order, candidates)
+	cs, err := sim.Run(inst, sim.Config{Paths: chosen, Order: order, Policy: sim.Priority})
+	if err != nil {
+		return nil, fmt.Errorf("core: simulating ASAP schedule: %w", err)
+	}
+	res := a.buildResult(cs, chosen, pathsPerFlow)
+	res.FlowOrder = order
+	return res, nil
+}
+
+// Schedule satisfies the common scheduler signature; practical mode.
+func (s CircuitFreePathsExact) Schedule(inst *coflow.Instance, rng *rand.Rand) (*coflow.CircuitSchedule, error) {
+	res, err := s.ScheduleASAP(inst, rng)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}

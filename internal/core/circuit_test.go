@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// figure1Instance is the paper's Figure 1 instance on the triangle network.
+func figure1Instance(t *testing.T, withPaths bool) *coflow.Instance {
+	t.Helper()
+	g := graph.Triangle()
+	x, _ := g.FindNode("x")
+	y, _ := g.FindNode("y")
+	z, _ := g.FindNode("z")
+	inst := &coflow.Instance{
+		Network: g,
+		Coflows: []coflow.Coflow{
+			{Name: "A", Weight: 1, Flows: []coflow.Flow{
+				{Source: x, Dest: y, Size: 2},
+				{Source: y, Dest: z, Size: 1},
+			}},
+			{Name: "B", Weight: 1, Flows: []coflow.Flow{{Source: y, Dest: z, Size: 1}}},
+			{Name: "C", Weight: 1, Flows: []coflow.Flow{{Source: x, Dest: z, Size: 2}}},
+		},
+	}
+	if withPaths {
+		if err := inst.AssignShortestPaths(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inst.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// smallFatTreeInstance generates a random instance on a 16-host fat-tree.
+func smallFatTreeInstance(t *testing.T, seed int64, coflows, width int) *coflow.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.Generate(graph.FatTree(4, 1), workload.Config{
+		NumCoflows: coflows, Width: width, MeanSize: 2, MeanRelease: 1, MeanWeight: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestOptionsDefaultsAndFeasibility(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Epsilon != 1 || o.Alpha != 0.5 || o.Displacement != 3 || o.CandidatePaths != 4 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	if !o.feasibilityCondition() {
+		t.Errorf("default options must satisfy the rounding feasibility condition")
+	}
+	if o.approximationFactor() <= 1 {
+		t.Errorf("approximation factor should exceed 1")
+	}
+	bad := Options{Epsilon: 0.1, Alpha: 0.5, Displacement: 1, CandidatePaths: 1}
+	if bad.feasibilityCondition() {
+		t.Errorf("clearly infeasible constants reported as feasible")
+	}
+}
+
+func TestCircuitGivenPathsProvableOnFigure1(t *testing.T) {
+	inst := figure1Instance(t, true)
+	res, err := CircuitGivenPaths{}.ScheduleProvable(inst)
+	if err != nil {
+		t.Fatalf("ScheduleProvable: %v", err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatalf("provable schedule infeasible: %v", err)
+	}
+	obj := res.Objective(inst)
+	lb := CombinedLowerBound(inst, res)
+	if lb <= 0 {
+		t.Fatalf("lower bound = %v, want > 0", lb)
+	}
+	if obj < lb-1e-6 {
+		t.Errorf("objective %v below lower bound %v (impossible)", obj, lb)
+	}
+	factor := Options{}.withDefaults().approximationFactor()
+	if obj > factor*lb+1e-6 {
+		t.Errorf("objective %v exceeds %v times lower bound %v", obj, factor, lb)
+	}
+	if res.LPObjective <= 0 || res.LPIterations <= 0 {
+		t.Errorf("missing LP evidence: %+v", res)
+	}
+}
+
+func TestCircuitGivenPathsASAPBeatsProvable(t *testing.T) {
+	inst := figure1Instance(t, true)
+	prov, err := CircuitGivenPaths{}.ScheduleProvable(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asap, err := CircuitGivenPaths{}.ScheduleASAP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asap.Schedule.Validate(inst); err != nil {
+		t.Fatalf("ASAP schedule infeasible: %v", err)
+	}
+	if !(asap.Objective(inst) <= prov.Objective(inst)+1e-9) {
+		t.Errorf("practical mode (%v) should not be worse than interval placement (%v)",
+			asap.Objective(inst), prov.Objective(inst))
+	}
+	// On Figure 1 the optimum is 5: B (size 1) uses edge y->z first, A
+	// completes at 2, C at 2 — matching the trivial lower bound 2+1+2. The
+	// LP-guided ASAP schedule should find it.
+	if got := asap.Objective(inst); math.Abs(got-5) > 1e-6 {
+		t.Errorf("ASAP objective = %v, want 5 (optimal)", got)
+	}
+}
+
+func TestCircuitGivenPathsRequiresPaths(t *testing.T) {
+	inst := figure1Instance(t, false)
+	if _, err := (CircuitGivenPaths{}).ScheduleProvable(inst); err == nil {
+		t.Errorf("expected error for missing paths")
+	}
+}
+
+func TestCircuitGivenPathsRespectsReleaseTimes(t *testing.T) {
+	g := graph.Line(2, 1)
+	h := g.Hosts()
+	inst := &coflow.Instance{
+		Network: g,
+		Coflows: []coflow.Coflow{
+			{Name: "late", Weight: 2, Flows: []coflow.Flow{{Source: h[0], Dest: h[1], Size: 1, Release: 6}}},
+			{Name: "early", Weight: 1, Flows: []coflow.Flow{{Source: h[0], Dest: h[1], Size: 2}}},
+		},
+	}
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"provable", "asap"} {
+		var res *Result
+		var err error
+		if mode == "provable" {
+			res, err = CircuitGivenPaths{}.ScheduleProvable(inst)
+		} else {
+			res, err = CircuitGivenPaths{}.ScheduleASAP(inst)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if err := res.Schedule.Validate(inst); err != nil {
+			t.Fatalf("%s: infeasible: %v", mode, err)
+		}
+		// The late flow cannot complete before 7.
+		lateRef := coflow.FlowRef{Coflow: 0, Index: 0}
+		late := res.Schedule.Get(lateRef).CompletionTime()
+		if late < 7-1e-9 {
+			t.Errorf("%s: late flow completes at %v before release+size = 7", mode, late)
+		}
+	}
+}
+
+func TestCircuitFreePathsOnFatTree(t *testing.T) {
+	inst := smallFatTreeInstance(t, 1, 3, 4)
+	rng := rand.New(rand.NewSource(2))
+	res, err := CircuitFreePaths{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatalf("ScheduleASAP: %v", err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatalf("schedule infeasible: %v", err)
+	}
+	if res.Objective(inst) <= 0 {
+		t.Errorf("objective should be positive")
+	}
+	if len(res.FlowOrder) != inst.NumFlows() {
+		t.Errorf("flow order has %d entries, want %d", len(res.FlowOrder), inst.NumFlows())
+	}
+	if len(res.ChosenPaths) != inst.NumFlows() {
+		t.Errorf("chosen paths has %d entries, want %d", len(res.ChosenPaths), inst.NumFlows())
+	}
+	// The paper's §4.3 observation: on fat-trees the LP concentrates each
+	// flow on a single path.
+	single := 0
+	for _, n := range res.PathsPerFlow {
+		if n == 1 {
+			single++
+		}
+	}
+	if single < inst.NumFlows()/2 {
+		t.Errorf("only %d/%d flows used a single LP path; expected most to", single, inst.NumFlows())
+	}
+}
+
+func TestCircuitFreePathsProvableFeasibleAndBounded(t *testing.T) {
+	inst := smallFatTreeInstance(t, 3, 2, 3)
+	rng := rand.New(rand.NewSource(4))
+	res, err := CircuitFreePaths{}.ScheduleProvable(inst, rng)
+	if err != nil {
+		t.Fatalf("ScheduleProvable: %v", err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatalf("provable schedule infeasible: %v", err)
+	}
+	lb := CombinedLowerBound(inst, res)
+	if lb <= 0 {
+		t.Fatalf("lower bound should be positive")
+	}
+	if res.Objective(inst) < lb-1e-6 {
+		t.Errorf("objective below lower bound")
+	}
+}
+
+func TestCircuitFreePathsHonorsPreassignedPaths(t *testing.T) {
+	inst := figure1Instance(t, true)
+	rng := rand.New(rand.NewSource(1))
+	res, err := CircuitFreePaths{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range inst.FlowRefs() {
+		want := inst.Flow(ref).Path
+		got := res.ChosenPaths[ref]
+		if len(want) != len(got) {
+			t.Errorf("flow %s path changed", ref)
+		}
+	}
+}
+
+func TestCircuitExactOnTriangle(t *testing.T) {
+	inst := figure1Instance(t, false) // no paths: routing is part of the problem
+	rng := rand.New(rand.NewSource(5))
+	res, err := CircuitFreePathsExact{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatalf("exact ScheduleASAP: %v", err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatalf("schedule infeasible: %v", err)
+	}
+	// Optimum is 6 (see the sim tests); the LP-guided schedule should be
+	// close; certainly no worse than strict coflow priority (8).
+	if got := res.Objective(inst); got > 8+1e-6 {
+		t.Errorf("exact LP-based objective = %v, want <= 8", got)
+	}
+	lb := CombinedLowerBound(inst, res)
+	if res.Objective(inst) < lb-1e-6 {
+		t.Errorf("objective below lower bound")
+	}
+
+	prov, err := CircuitFreePathsExact{}.ScheduleProvable(inst, rng)
+	if err != nil {
+		t.Fatalf("exact ScheduleProvable: %v", err)
+	}
+	if err := prov.Schedule.Validate(inst); err != nil {
+		t.Fatalf("provable schedule infeasible: %v", err)
+	}
+}
+
+func TestCircuitExactCanSplitAcrossPaths(t *testing.T) {
+	// Two parallel 2-hop routes between s and t, each of capacity 1, and a
+	// single flow of size 4: the exact LP can use both routes fractionally,
+	// and its lower bound must reflect the combined capacity (completion >= 2
+	// rather than 4). The chosen single path then carries the whole flow.
+	g := graph.New()
+	s := g.AddNode("s", graph.KindHost)
+	a := g.AddNode("a", graph.KindHost)
+	b := g.AddNode("b", graph.KindHost)
+	d := g.AddNode("t", graph.KindHost)
+	g.AddEdge(s, a, 1)
+	g.AddEdge(a, d, 1)
+	g.AddEdge(s, b, 1)
+	g.AddEdge(b, d, 1)
+	inst := &coflow.Instance{
+		Network: g,
+		Coflows: []coflow.Coflow{{Name: "big", Weight: 1, Flows: []coflow.Flow{{Source: s, Dest: d, Size: 4}}}},
+	}
+	rng := rand.New(rand.NewSource(1))
+	res, err := CircuitFreePathsExact{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	// LP lower bound should be at least 1 (=2/(1+eps)); the trivial bound is 2.
+	if lb := CombinedLowerBound(inst, res); lb < 2-1e-6 {
+		t.Errorf("lower bound = %v, want >= 2", lb)
+	}
+	// A single path of capacity 1 must take 4 time units.
+	if got := res.Objective(inst); math.Abs(got-4) > 1e-6 {
+		t.Errorf("objective = %v, want 4 (single path)", got)
+	}
+	// The decomposition should have found both routes.
+	bigRef := coflow.FlowRef{Coflow: 0, Index: 0}
+	if res.PathsPerFlow[bigRef] < 2 {
+		t.Errorf("expected the LP to split the flow across >= 2 paths, got %d", res.PathsPerFlow[bigRef])
+	}
+}
+
+func TestResultApproximationRatio(t *testing.T) {
+	inst := figure1Instance(t, true)
+	res, err := CircuitGivenPaths{}.ScheduleASAP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.ApproximationRatio(inst)
+	if ratio < 1-1e-9 || math.IsInf(ratio, 1) {
+		t.Errorf("approximation ratio = %v, want finite >= 1", ratio)
+	}
+	res.LowerBound = 0
+	if !math.IsInf(res.ApproximationRatio(inst), 1) {
+		t.Errorf("zero lower bound should give +Inf ratio")
+	}
+}
+
+func TestTrivialLowerBound(t *testing.T) {
+	inst := figure1Instance(t, true)
+	lb := TrivialLowerBound(inst)
+	// Coflow A needs at least 2 (A1 size 2 over a unit path), B at least 1,
+	// C at least 2: total >= 5.
+	if lb < 5-1e-9 {
+		t.Errorf("trivial lower bound = %v, want >= 5", lb)
+	}
+	// Without paths, max-flow between distinct triangle nodes is 2, so the
+	// bound halves for the size-2 flows: 1 + 0.5 + 1 = 2.5.
+	noPaths := figure1Instance(t, false)
+	lb2 := TrivialLowerBound(noPaths)
+	if math.Abs(lb2-2.5) > 1e-9 || lb2 > lb+1e-9 {
+		t.Errorf("free-path trivial bound = %v, want 2.5 (and <= %v)", lb2, lb)
+	}
+}

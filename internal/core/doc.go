@@ -1,0 +1,37 @@
+// Package core implements the paper's contribution: approximation algorithms
+// for coflow scheduling over general network topologies that minimize total
+// weighted coflow completion time.
+//
+// All algorithms share the three-step framework of the paper:
+//
+//  1. Reformulation — coflow completion times are expressed through a dummy
+//     flow per coflow that must finish last (depth-1 in-tree precedences);
+//     only dummy flows carry the coflow weight.
+//  2. Interval-indexed linear program — time is partitioned into geometric
+//     intervals τ_ℓ = (1+ε)^(ℓ-1); LP variables describe what fraction of
+//     each flow is delivered in each interval, subject to per-interval edge
+//     capacity (and, for unrouted flows, flow conservation or candidate-path
+//     selection). The LP optimum is a lower bound on the optimal schedule
+//     (up to a 1+ε factor from rounding release times).
+//  3. Rounding — each flow is assigned to a later interval based on its
+//     α-point (the interval where a cumulative α fraction of it is done in
+//     the LP), and bandwidth/paths are fixed so that edge capacities hold.
+//     Unrouted circuit flows pick a single path by Raghavan–Thompson
+//     randomized rounding of the LP's fractional routing.
+//
+// Schedulers come in two flavours:
+//
+//   - Provable mode (Schedule): produces a feasible schedule whose objective
+//     is within a constant factor (circuit, given paths), within a constant
+//     factor over a candidate path set (circuit, free paths, restricted LP),
+//     or within O(log |E| / log log |E|) (circuit, free paths, exact
+//     arc-flow LP) of the LP lower bound.
+//   - Practical mode (ScheduleASAP, the paper's §4.2 tweak): uses the LP only
+//     to pick paths and a priority order, then starts every flow as early as
+//     possible in the flow-level simulator. This is the "LP-Based" scheme of
+//     the paper's experiments.
+//
+// Packet-based coflows are handled by reducing to unit-time job-shop
+// scheduling (given paths) and to per-interval routing plus scheduling on the
+// original graph (free paths); see packet_given.go and packet_free.go.
+package core

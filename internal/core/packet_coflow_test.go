@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// packetGridInstance generates a random packet workload on a small grid.
+func packetGridInstance(t *testing.T, seed int64, coflows, width int) *coflow.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.Generate(graph.Grid(3, 3, 1), workload.Config{
+		NumCoflows: coflows, Width: width, PacketModel: true, MeanRelease: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPacketGivenPathsSchedulesFeasibly(t *testing.T) {
+	inst := packetGridInstance(t, 1, 3, 3)
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := PacketGivenPaths{}.Schedule(inst)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	if res.LPObjective <= 0 || res.LowerBound <= 0 {
+		t.Errorf("missing LP evidence: %+v", res)
+	}
+	if res.Objective(inst) < res.LowerBound-1e-6 {
+		t.Errorf("objective %v below LP lower bound %v", res.Objective(inst), res.LowerBound)
+	}
+	if len(res.FlowOrder) != inst.NumFlows() {
+		t.Errorf("flow order incomplete")
+	}
+	ratio := res.ApproximationRatio(inst)
+	if math.IsInf(ratio, 1) || ratio < 1-1e-9 {
+		t.Errorf("approximation ratio = %v", ratio)
+	}
+}
+
+func TestPacketGivenPathsRequiresPathsAndUnitSizes(t *testing.T) {
+	inst := packetGridInstance(t, 2, 2, 2)
+	if _, err := (PacketGivenPaths{}).Schedule(inst); err == nil {
+		t.Error("expected error for missing paths")
+	}
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	inst.Coflows[0].Flows[0].Size = 3
+	if _, err := (PacketGivenPaths{}).Schedule(inst); err == nil {
+		t.Error("expected error for non-unit packet size")
+	}
+}
+
+func TestPacketFreePathsASAPAndPhased(t *testing.T) {
+	inst := packetGridInstance(t, 3, 3, 3)
+	rng := rand.New(rand.NewSource(1))
+
+	asap, err := PacketFreePaths{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatalf("ScheduleASAP: %v", err)
+	}
+	if err := asap.Schedule.Validate(inst); err != nil {
+		t.Fatalf("ASAP schedule invalid: %v", err)
+	}
+
+	phased, err := PacketFreePaths{}.SchedulePhased(inst, rng)
+	if err != nil {
+		t.Fatalf("SchedulePhased: %v", err)
+	}
+	if err := phased.Schedule.Validate(inst); err != nil {
+		t.Fatalf("phased schedule invalid: %v", err)
+	}
+
+	// Both respect the LP lower bound; ASAP should be at least as good as the
+	// phased (interval-barrier) variant.
+	if asap.Objective(inst) < asap.LowerBound-1e-6 {
+		t.Errorf("ASAP objective below lower bound")
+	}
+	if phased.Objective(inst) < phased.LowerBound-1e-6 {
+		t.Errorf("phased objective below lower bound")
+	}
+	if asap.Objective(inst) > phased.Objective(inst)+1e-6 {
+		t.Errorf("ASAP (%v) should not be worse than phased (%v)",
+			asap.Objective(inst), phased.Objective(inst))
+	}
+}
+
+func TestPacketFreePathsHonorsPinnedPaths(t *testing.T) {
+	inst := packetGridInstance(t, 5, 2, 2)
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res, err := PacketFreePaths{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate() enforces that pinned paths are followed.
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatalf("pinned-path schedule invalid: %v", err)
+	}
+}
+
+func TestPacketFreePathsLineSerializes(t *testing.T) {
+	// Three packets over the same line: the optimum serializes them 3,4,5 and
+	// the LP-guided schedule must match that exactly.
+	g := graph.Line(4, 1)
+	h := g.Hosts()
+	inst := &coflow.Instance{Network: g}
+	for i := 0; i < 3; i++ {
+		inst.Coflows = append(inst.Coflows, coflow.Coflow{
+			Name: "p", Weight: 1,
+			Flows: []coflow.Flow{{Source: h[0], Dest: h[3], Size: 1}},
+		})
+	}
+	rng := rand.New(rand.NewSource(3))
+	res, err := PacketFreePaths{}.ScheduleASAP(inst, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Objective(inst); math.Abs(got-12) > 1e-9 {
+		t.Errorf("objective = %v, want 12 (3+4+5)", got)
+	}
+}

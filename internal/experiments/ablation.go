@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/core"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/stats"
+	"coflowsched/internal/workload"
+)
+
+// AblationResult reports the design-choice studies listed in DESIGN.md:
+//
+//	(a) interval granularity ε (LP tightness vs size),
+//	(b) candidate-path budget (1 = shortest-path routing only vs 4),
+//	(c) practical start-ASAP mode vs the theoretical interval placement,
+//	(d) LP-derived ordering vs the same paths with a size-based ordering.
+type AblationResult struct {
+	Epsilon        *stats.Table
+	CandidatePaths *stats.Table
+	Rounding       *stats.Table
+}
+
+// String renders all three panels.
+func (a *AblationResult) String() string {
+	return a.Epsilon.String() + "\n" + a.CandidatePaths.String() + "\n" + a.Rounding.String()
+}
+
+// AblationConfig sizes the ablation workload.
+type AblationConfig struct {
+	Trials     int
+	Seed       int64
+	NumCoflows int
+	Width      int
+}
+
+// DefaultAblationConfig keeps the LPs small.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{Trials: 2, Seed: 11, NumCoflows: 4, Width: 4}
+}
+
+// Ablation runs all three studies on a 16-server fat-tree.
+func Ablation(cfg AblationConfig) (*AblationResult, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	g := graph.FatTree(4, 1)
+
+	instance := func(trial int) (*rand.Rand, *coflow.Instance, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*101))
+		inst, err := workload.Generate(g, workload.Config{
+			NumCoflows: cfg.NumCoflows, Width: cfg.Width, MeanSize: 3, MeanRelease: 1, MeanWeight: 1,
+		}, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rng, inst, nil
+	}
+
+	// (a) ε sweep: objective and LP lower bound as ε shrinks.
+	epsValues := []float64{2, 1, 0.5}
+	epsLabels := make([]string, len(epsValues))
+	for i, e := range epsValues {
+		epsLabels[i] = fmt.Sprintf("eps=%g", e)
+	}
+	objByEps := make([]float64, len(epsValues))
+	lbByEps := make([]float64, len(epsValues))
+	for ei, eps := range epsValues {
+		var objs, lbs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng, wi, err := instance(trial)
+			if err != nil {
+				return nil, err
+			}
+			res, err := (core.CircuitFreePaths{Opts: core.Options{Epsilon: eps, CandidatePaths: 2}}).ScheduleASAP(wi, rng)
+			if err != nil {
+				return nil, err
+			}
+			objs = append(objs, res.Objective(wi))
+			lbs = append(lbs, core.CombinedLowerBound(wi, res))
+		}
+		objByEps[ei] = stats.Mean(objs)
+		lbByEps[ei] = stats.Mean(lbs)
+	}
+	epsTable := stats.NewTable("Ablation (a): interval granularity", "epsilon", epsLabels)
+	if err := epsTable.AddSeries("LP-Based objective", objByEps); err != nil {
+		return nil, err
+	}
+	if err := epsTable.AddSeries("certified lower bound", lbByEps); err != nil {
+		return nil, err
+	}
+
+	// (b) candidate-path budget.
+	budgets := []int{1, 2, 4}
+	budgetLabels := make([]string, len(budgets))
+	for i, b := range budgets {
+		budgetLabels[i] = fmt.Sprintf("K=%d", b)
+	}
+	objByK := make([]float64, len(budgets))
+	for bi, k := range budgets {
+		var objs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng, wi, err := instance(trial)
+			if err != nil {
+				return nil, err
+			}
+			res, err := (core.CircuitFreePaths{Opts: core.Options{CandidatePaths: k}}).ScheduleASAP(wi, rng)
+			if err != nil {
+				return nil, err
+			}
+			objs = append(objs, res.Objective(wi))
+		}
+		objByK[bi] = stats.Mean(objs)
+	}
+	kTable := stats.NewTable("Ablation (b): candidate-path budget", "paths", budgetLabels)
+	if err := kTable.AddSeries("LP-Based objective", objByK); err != nil {
+		return nil, err
+	}
+
+	// (c) rounding mode: ASAP vs theoretical interval placement.
+	modeLabels := []string{"ASAP (practical)", "interval placement"}
+	asapVals := make([]float64, cfg.Trials)
+	provVals := make([]float64, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		rng, wi, err := instance(trial)
+		if err != nil {
+			return nil, err
+		}
+		sched := core.CircuitFreePaths{Opts: core.Options{CandidatePaths: 2}}
+		asap, err := sched.ScheduleASAP(wi, rng)
+		if err != nil {
+			return nil, err
+		}
+		prov, err := sched.ScheduleProvable(wi, rng)
+		if err != nil {
+			return nil, err
+		}
+		asapVals[trial] = asap.Objective(wi)
+		provVals[trial] = prov.Objective(wi)
+	}
+	roundTable := stats.NewTable("Ablation (c): rounding mode (mean objective)", "mode", modeLabels)
+	if err := roundTable.AddSeries("objective", []float64{stats.Mean(asapVals), stats.Mean(provVals)}); err != nil {
+		return nil, err
+	}
+
+	return &AblationResult{Epsilon: epsTable, CandidatePaths: kTable, Rounding: roundTable}, nil
+}

@@ -1,0 +1,97 @@
+package graph
+
+// WeightedPath is a path carrying an amount of flow, produced by flow
+// decomposition.
+type WeightedPath struct {
+	Path   Path
+	Amount float64
+}
+
+// decomposeTol is the smallest amount of residual flow worth extracting;
+// anything below it is treated as numerical noise from the LP solution.
+const decomposeTol = 1e-9
+
+// DecomposeFlow decomposes a single-commodity edge flow (indexed by EdgeID)
+// from src to dst into a set of weighted source-destination paths, using the
+// "thickest path" rule: at every step the path with the largest bottleneck of
+// remaining flow is extracted. Flow on cycles (which carries nothing from src
+// to dst) is ignored. The returned paths carry total flow equal to the net
+// flow out of src, up to numerical tolerance.
+//
+// This is the flow decomposition step of the paper's §2.2 rounding; the
+// thickest-path rule matches the implementation described in §4.2, which
+// minimizes the number of paths per flow in practice.
+func (g *Graph) DecomposeFlow(src, dst NodeID, flow []float64) []WeightedPath {
+	residual := make([]float64, len(flow))
+	copy(residual, flow)
+	var out []WeightedPath
+	for {
+		p := g.WidestPath(src, dst, func(e EdgeID) float64 {
+			if residual[e] <= decomposeTol {
+				return 0
+			}
+			return residual[e]
+		})
+		if p == nil || len(p) == 0 {
+			break
+		}
+		amount := residual[p[0]]
+		for _, e := range p[1:] {
+			if residual[e] < amount {
+				amount = residual[e]
+			}
+		}
+		if amount <= decomposeTol {
+			break
+		}
+		for _, e := range p {
+			residual[e] -= amount
+		}
+		out = append(out, WeightedPath{Path: p, Amount: amount})
+		if len(out) > g.NumEdges()+1 {
+			// Each extraction zeroes at least one edge, so this cannot
+			// happen for exact arithmetic; guard against FP pathologies.
+			break
+		}
+	}
+	return out
+}
+
+// TotalAmount sums the flow carried by a set of weighted paths.
+func TotalAmount(paths []WeightedPath) float64 {
+	s := 0.0
+	for _, wp := range paths {
+		s += wp.Amount
+	}
+	return s
+}
+
+// NetOutFlow returns the net flow leaving node v under the given per-edge
+// flow vector (outgoing minus incoming).
+func (g *Graph) NetOutFlow(v NodeID, flow []float64) float64 {
+	s := 0.0
+	for _, e := range g.Out(v) {
+		s += flow[e]
+	}
+	for _, e := range g.In(v) {
+		s -= flow[e]
+	}
+	return s
+}
+
+// CheckConservation verifies that the flow vector conserves flow at every
+// node except src and dst, to within tol. It returns the first violating node
+// and false, or (-1, true) when conservation holds.
+func (g *Graph) CheckConservation(src, dst NodeID, flow []float64, tol float64) (NodeID, bool) {
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if id == src || id == dst {
+			continue
+		}
+		net := g.NetOutFlow(id, flow)
+		if net > tol || net < -tol {
+			return id, false
+		}
+	}
+	return -1, true
+}

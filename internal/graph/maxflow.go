@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"math"
+)
+
+// MaxFlow computes a maximum flow from src to dst in g using Dinic's
+// algorithm on the edge capacities. It returns the flow value and the
+// per-edge flow (indexed by EdgeID). MaxFlow does not modify g.
+func (g *Graph) MaxFlow(src, dst NodeID) (float64, []float64) {
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = g.Capacity(EdgeID(i))
+	}
+	return g.MaxFlowWithCapacities(src, dst, caps)
+}
+
+// MaxFlowWithCapacities computes a maximum flow from src to dst using the
+// supplied per-edge capacities (indexed by EdgeID) instead of the graph's own
+// capacities. Capacities that are zero or negative disable the edge.
+func (g *Graph) MaxFlowWithCapacities(src, dst NodeID, caps []float64) (float64, []float64) {
+	d := newDinic(g, caps)
+	value := d.run(src, dst)
+	return value, d.flowPerEdge()
+}
+
+// dinic is the working state of Dinic's algorithm over a residual graph with
+// paired forward/backward arcs.
+type dinic struct {
+	g        *Graph
+	numNodes int
+	// Residual arcs: arc 2i is the forward copy of edge i, arc 2i+1 its
+	// reverse.
+	cap   []float64
+	level []int
+	iter  []int
+	adj   [][]int // residual arc ids per node
+}
+
+func newDinic(g *Graph, caps []float64) *dinic {
+	n := g.NumNodes()
+	d := &dinic{
+		g:        g,
+		numNodes: n,
+		cap:      make([]float64, 2*g.NumEdges()),
+		level:    make([]int, n),
+		iter:     make([]int, n),
+		adj:      make([][]int, n),
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		c := caps[i]
+		if c < 0 {
+			c = 0
+		}
+		d.cap[2*i] = c
+		d.cap[2*i+1] = 0
+		d.adj[e.From] = append(d.adj[e.From], 2*i)
+		d.adj[e.To] = append(d.adj[e.To], 2*i+1)
+	}
+	return d
+}
+
+func (d *dinic) arcTarget(arc int) NodeID {
+	e := d.g.Edge(EdgeID(arc / 2))
+	if arc%2 == 0 {
+		return e.To
+	}
+	return e.From
+}
+
+func (d *dinic) bfs(src, dst NodeID) bool {
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	d.level[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, arc := range d.adj[v] {
+			if d.cap[arc] <= 1e-12 {
+				continue
+			}
+			to := d.arcTarget(arc)
+			if d.level[to] >= 0 {
+				continue
+			}
+			d.level[to] = d.level[v] + 1
+			queue = append(queue, to)
+		}
+	}
+	return d.level[dst] >= 0
+}
+
+func (d *dinic) dfs(v, dst NodeID, f float64) float64 {
+	if v == dst {
+		return f
+	}
+	for ; d.iter[v] < len(d.adj[v]); d.iter[v]++ {
+		arc := d.adj[v][d.iter[v]]
+		if d.cap[arc] <= 1e-12 {
+			continue
+		}
+		to := d.arcTarget(arc)
+		if d.level[to] != d.level[v]+1 {
+			continue
+		}
+		pushed := d.dfs(to, dst, math.Min(f, d.cap[arc]))
+		if pushed > 0 {
+			d.cap[arc] -= pushed
+			d.cap[arc^1] += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+func (d *dinic) run(src, dst NodeID) float64 {
+	if src == dst {
+		return 0
+	}
+	total := 0.0
+	for d.bfs(src, dst) {
+		for i := range d.iter {
+			d.iter[i] = 0
+		}
+		for {
+			f := d.dfs(src, dst, math.Inf(1))
+			if f <= 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// flowPerEdge returns the net flow routed over each original edge.
+func (d *dinic) flowPerEdge() []float64 {
+	out := make([]float64, d.g.NumEdges())
+	for i := 0; i < d.g.NumEdges(); i++ {
+		// Flow on edge i equals the residual capacity accumulated on its
+		// reverse arc.
+		out[i] = d.cap[2*i+1]
+	}
+	return out
+}
+
+// MinCut returns the value of a minimum src-dst cut and the set of edges
+// crossing it (from the src side to the dst side). By max-flow/min-cut
+// duality the value equals MaxFlow.
+func (g *Graph) MinCut(src, dst NodeID) (float64, []EdgeID) {
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = g.Capacity(EdgeID(i))
+	}
+	d := newDinic(g, caps)
+	value := d.run(src, dst)
+
+	// Nodes reachable from src in the residual graph form the src side.
+	reach := make([]bool, g.NumNodes())
+	reach[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, arc := range d.adj[v] {
+			if d.cap[arc] <= 1e-12 {
+				continue
+			}
+			to := d.arcTarget(arc)
+			if !reach[to] {
+				reach[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	var cut []EdgeID
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if reach[e.From] && !reach[e.To] {
+			cut = append(cut, e.ID)
+		}
+	}
+	return value, cut
+}

@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic 4-node example: s->a (3), s->b (2), a->b (1), a->t (2), b->t (3).
+	// Max flow = 5.
+	g := New()
+	s := g.AddNode("s", KindHost)
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	d := g.AddNode("t", KindHost)
+	g.AddEdge(s, a, 3)
+	g.AddEdge(s, b, 2)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, d, 2)
+	g.AddEdge(b, d, 3)
+	val, flow := g.MaxFlow(s, d)
+	if math.Abs(val-5) > 1e-9 {
+		t.Errorf("max flow = %v, want 5", val)
+	}
+	// Flow conservation and capacity feasibility.
+	for i, f := range flow {
+		if f < -1e-9 || f > g.Capacity(EdgeID(i))+1e-9 {
+			t.Errorf("edge %d flow %v violates capacity %v", i, f, g.Capacity(EdgeID(i)))
+		}
+	}
+	if v, ok := g.CheckConservation(s, d, flow, 1e-9); !ok {
+		t.Errorf("conservation violated at node %d", v)
+	}
+	if out := g.NetOutFlow(s, flow); math.Abs(out-5) > 1e-9 {
+		t.Errorf("net out of source = %v, want 5", out)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New()
+	s := g.AddNode("s", KindHost)
+	d := g.AddNode("t", KindHost)
+	val, _ := g.MaxFlow(s, d)
+	if val != 0 {
+		t.Errorf("max flow between disconnected nodes = %v, want 0", val)
+	}
+	if v, _ := g.MaxFlow(s, s); v != 0 {
+		t.Errorf("max flow s->s = %v, want 0", v)
+	}
+}
+
+func TestMaxFlowWithCapacitiesOverride(t *testing.T) {
+	g := New()
+	s := g.AddNode("s", KindHost)
+	d := g.AddNode("t", KindHost)
+	e := g.AddEdge(s, d, 10)
+	caps := make([]float64, g.NumEdges())
+	caps[e] = 4
+	val, flow := g.MaxFlowWithCapacities(s, d, caps)
+	if math.Abs(val-4) > 1e-9 || math.Abs(flow[e]-4) > 1e-9 {
+		t.Errorf("overridden max flow = %v (edge %v), want 4", val, flow[e])
+	}
+	// Zero/negative capacities disable the edge.
+	caps[e] = -1
+	val, _ = g.MaxFlowWithCapacities(s, d, caps)
+	if val != 0 {
+		t.Errorf("flow over disabled edge = %v, want 0", val)
+	}
+}
+
+func TestMinCutEqualsMaxFlow(t *testing.T) {
+	g := New()
+	s := g.AddNode("s", KindHost)
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	d := g.AddNode("t", KindHost)
+	g.AddEdge(s, a, 4)
+	g.AddEdge(s, b, 3)
+	g.AddEdge(a, d, 2)
+	g.AddEdge(b, d, 5)
+	g.AddEdge(a, b, 1)
+	flowVal, _ := g.MaxFlow(s, d)
+	cutVal, cutEdges := g.MinCut(s, d)
+	if math.Abs(flowVal-cutVal) > 1e-9 {
+		t.Errorf("max flow %v != min cut %v", flowVal, cutVal)
+	}
+	capSum := 0.0
+	for _, e := range cutEdges {
+		capSum += g.Capacity(e)
+	}
+	if math.Abs(capSum-cutVal) > 1e-9 {
+		t.Errorf("cut edges sum %v != cut value %v", capSum, cutVal)
+	}
+}
+
+func TestMaxFlowFatTreeBisection(t *testing.T) {
+	// In a fat-tree with unit links, a single host pair is limited by the
+	// host access link: max flow = 1.
+	g := FatTree(4, 1)
+	h := g.Hosts()
+	val, _ := g.MaxFlow(h[0], h[len(h)-1])
+	if math.Abs(val-1) > 1e-9 {
+		t.Errorf("fat-tree host-to-host max flow = %v, want 1", val)
+	}
+}
+
+func TestPropertyMaxFlowEqualsMinCutRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		g := New()
+		ids := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = g.AddNode("", KindHost)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.4 {
+					g.AddEdge(ids[i], ids[j], 1+rng.Float64()*5)
+				}
+			}
+		}
+		s, d := ids[0], ids[n-1]
+		flowVal, flow := g.MaxFlow(s, d)
+		cutVal, _ := g.MinCut(s, d)
+		if math.Abs(flowVal-cutVal) > 1e-6 {
+			return false
+		}
+		// Feasibility.
+		for i, fl := range flow {
+			if fl < -1e-9 || fl > g.Capacity(EdgeID(i))+1e-6 {
+				return false
+			}
+		}
+		if _, ok := g.CheckConservation(s, d, flow, 1e-6); !ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeFlowSimple(t *testing.T) {
+	g := New()
+	s := g.AddNode("s", KindHost)
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	d := g.AddNode("t", KindHost)
+	sa := g.AddEdge(s, a, 3)
+	sb := g.AddEdge(s, b, 2)
+	ad := g.AddEdge(a, d, 3)
+	bd := g.AddEdge(b, d, 2)
+	flow := make([]float64, g.NumEdges())
+	flow[sa], flow[ad] = 3, 3
+	flow[sb], flow[bd] = 2, 2
+	paths := g.DecomposeFlow(s, d, flow)
+	if len(paths) != 2 {
+		t.Fatalf("decomposition returned %d paths, want 2", len(paths))
+	}
+	if math.Abs(TotalAmount(paths)-5) > 1e-9 {
+		t.Errorf("total amount %v, want 5", TotalAmount(paths))
+	}
+	// Thickest first.
+	if paths[0].Amount < paths[1].Amount {
+		t.Errorf("paths not in thickest-first order: %v then %v", paths[0].Amount, paths[1].Amount)
+	}
+	for _, wp := range paths {
+		if err := wp.Path.Validate(g, s, d); err != nil {
+			t.Errorf("decomposed path invalid: %v", err)
+		}
+	}
+}
+
+func TestDecomposeFlowIgnoresCycles(t *testing.T) {
+	// Flow with a useless cycle a->b->a on top of a direct s->t path.
+	g := New()
+	s := g.AddNode("s", KindHost)
+	a := g.AddNode("a", KindHost)
+	b := g.AddNode("b", KindHost)
+	d := g.AddNode("t", KindHost)
+	sd := g.AddEdge(s, d, 5)
+	ab := g.AddEdge(a, b, 5)
+	ba := g.AddEdge(b, a, 5)
+	flow := make([]float64, g.NumEdges())
+	flow[sd] = 2
+	flow[ab], flow[ba] = 1, 1
+	paths := g.DecomposeFlow(s, d, flow)
+	if len(paths) != 1 || math.Abs(paths[0].Amount-2) > 1e-9 {
+		t.Errorf("decomposition = %+v, want single path of amount 2", paths)
+	}
+}
+
+func TestDecomposeFlowEmpty(t *testing.T) {
+	g := Triangle()
+	flow := make([]float64, g.NumEdges())
+	paths := g.DecomposeFlow(0, 1, flow)
+	if len(paths) != 0 {
+		t.Errorf("decomposition of zero flow = %v, want empty", paths)
+	}
+}
+
+func TestPropertyDecompositionRecoversMaxFlow(t *testing.T) {
+	// For random graphs, decomposing a max flow must recover its full value
+	// and every path must be a valid s-t path within edge flows.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := New()
+		ids := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = g.AddNode("", KindHost)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.5 {
+					g.AddEdge(ids[i], ids[j], 0.5+rng.Float64()*4)
+				}
+			}
+		}
+		s, d := ids[0], ids[n-1]
+		val, flow := g.MaxFlow(s, d)
+		paths := g.DecomposeFlow(s, d, flow)
+		if math.Abs(TotalAmount(paths)-val) > 1e-6*(1+val) {
+			return false
+		}
+		// Paths must respect the flow: summing path amounts per edge must not
+		// exceed the edge flow.
+		used := make([]float64, g.NumEdges())
+		for _, wp := range paths {
+			if wp.Path.Validate(g, s, d) != nil {
+				return false
+			}
+			for _, e := range wp.Path {
+				used[e] += wp.Amount
+			}
+		}
+		for i := range used {
+			if used[i] > flow[i]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// nodeItem is a priority queue entry used by the Dijkstra variants.
+type nodeItem struct {
+	node NodeID
+	prio float64
+	idx  int
+}
+
+type nodePQ struct {
+	items []*nodeItem
+	less  func(a, b float64) bool
+}
+
+func (pq *nodePQ) Len() int           { return len(pq.items) }
+func (pq *nodePQ) Less(i, j int) bool { return pq.less(pq.items[i].prio, pq.items[j].prio) }
+func (pq *nodePQ) Swap(i, j int) {
+	pq.items[i], pq.items[j] = pq.items[j], pq.items[i]
+	pq.items[i].idx = i
+	pq.items[j].idx = j
+}
+func (pq *nodePQ) Push(x interface{}) {
+	it := x.(*nodeItem)
+	it.idx = len(pq.items)
+	pq.items = append(pq.items, it)
+}
+func (pq *nodePQ) Pop() interface{} {
+	old := pq.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	pq.items = old[:n-1]
+	return it
+}
+
+// ShortestPath returns a minimum-hop path from src to dst, or nil if dst is
+// unreachable. Every edge counts as one hop regardless of capacity.
+func (g *Graph) ShortestPath(src, dst NodeID) Path {
+	return g.shortestPathWeighted(src, dst, func(EdgeID) float64 { return 1 })
+}
+
+// ShortestPathWeighted returns a minimum-total-weight path from src to dst
+// under the given per-edge weight function (weights must be nonnegative), or
+// nil if unreachable.
+func (g *Graph) ShortestPathWeighted(src, dst NodeID, weight func(EdgeID) float64) Path {
+	return g.shortestPathWeighted(src, dst, weight)
+}
+
+func (g *Graph) shortestPathWeighted(src, dst NodeID, weight func(EdgeID) float64) Path {
+	if src == dst {
+		return Path{}
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	visited := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+
+	pq := &nodePQ{less: func(a, b float64) bool { return a < b }}
+	heap.Push(pq, &nodeItem{node: src, prio: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*nodeItem)
+		v := it.node
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		if v == dst {
+			break
+		}
+		for _, eid := range g.Out(v) {
+			e := g.Edge(eid)
+			w := weight(eid)
+			if w < 0 {
+				w = 0
+			}
+			nd := dist[v] + w
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(pq, &nodeItem{node: e.To, prio: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	return g.tracePath(src, dst, prevEdge)
+}
+
+// WidestPath returns a path from src to dst maximizing the bottleneck value
+// of width(edge); ties are broken toward fewer hops. It returns nil if dst is
+// unreachable or every path has zero (or negative) bottleneck width. This is
+// the "thickest path" routine used by flow decomposition (§4.2 of the paper).
+func (g *Graph) WidestPath(src, dst NodeID, width func(EdgeID) float64) Path {
+	if src == dst {
+		return Path{}
+	}
+	n := g.NumNodes()
+	best := make([]float64, n)
+	hops := make([]int, n)
+	prevEdge := make([]EdgeID, n)
+	visited := make([]bool, n)
+	for i := range best {
+		best[i] = math.Inf(-1)
+		prevEdge[i] = -1
+		hops[i] = math.MaxInt32
+	}
+	best[src] = math.Inf(1)
+	hops[src] = 0
+
+	pq := &nodePQ{less: func(a, b float64) bool { return a > b }} // max-heap on bottleneck
+	heap.Push(pq, &nodeItem{node: src, prio: best[src]})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*nodeItem)
+		v := it.node
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		for _, eid := range g.Out(v) {
+			e := g.Edge(eid)
+			w := width(eid)
+			if w <= 0 {
+				continue
+			}
+			bottleneck := math.Min(best[v], w)
+			if bottleneck > best[e.To]+1e-15 ||
+				(bottleneck > best[e.To]-1e-15 && hops[v]+1 < hops[e.To]) {
+				best[e.To] = bottleneck
+				hops[e.To] = hops[v] + 1
+				prevEdge[e.To] = eid
+				heap.Push(pq, &nodeItem{node: e.To, prio: bottleneck})
+			}
+		}
+	}
+	if math.IsInf(best[dst], -1) || best[dst] <= 0 {
+		return nil
+	}
+	return g.tracePath(src, dst, prevEdge)
+}
+
+// KShortestPaths returns up to k loop-free minimum-hop paths from src to dst
+// using a simple Yen-like expansion on the hop metric. It is used by the
+// Route-only baseline to pick among candidate paths for load balancing.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first := g.ShortestPath(src, dst)
+	if first == nil {
+		return nil
+	}
+	paths := []Path{first}
+	candidates := []Path{}
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		lastNodes := last.Nodes(g)
+		for spur := 0; spur < len(last); spur++ {
+			// Block the edges used at this spur position by previously found
+			// paths sharing the same prefix, then reroute.
+			blocked := map[EdgeID]bool{}
+			for _, p := range paths {
+				if len(p) > spur && samePrefix(g, p, last, spur) {
+					blocked[p[spur]] = true
+				}
+			}
+			// Also block revisiting root-path nodes to keep paths simple.
+			blockedNodes := map[NodeID]bool{}
+			for i := 0; i < spur; i++ {
+				blockedNodes[lastNodes[i]] = true
+			}
+			spurNode := lastNodes[spur]
+			detour := g.shortestPathWeighted(spurNode, dst, func(eid EdgeID) float64 {
+				e := g.Edge(eid)
+				if blocked[eid] || blockedNodes[e.To] {
+					return math.Inf(1)
+				}
+				return 1
+			})
+			if detour == nil || pathUsesInfEdge(g, detour, blocked, blockedNodes) {
+				continue
+			}
+			full := append(append(Path{}, last[:spur]...), detour...)
+			if !containsPath(paths, full) && !containsPath(candidates, full) {
+				candidates = append(candidates, full)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Pick the shortest candidate.
+		bestIdx := 0
+		for i := range candidates {
+			if len(candidates[i]) < len(candidates[bestIdx]) {
+				bestIdx = i
+			}
+		}
+		paths = append(paths, candidates[bestIdx])
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+	}
+	return paths
+}
+
+func pathUsesInfEdge(g *Graph, p Path, blocked map[EdgeID]bool, blockedNodes map[NodeID]bool) bool {
+	for _, eid := range p {
+		if blocked[eid] || blockedNodes[g.Edge(eid).To] {
+			return true
+		}
+	}
+	return false
+}
+
+func samePrefix(g *Graph, a, b Path, n int) bool {
+	if len(a) < n || len(b) < n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(paths []Path, p Path) bool {
+	for _, q := range paths {
+		if len(q) != len(p) {
+			continue
+		}
+		same := true
+		for i := range q {
+			if q[i] != p[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// tracePath reconstructs a path from prevEdge pointers.
+func (g *Graph) tracePath(src, dst NodeID, prevEdge []EdgeID) Path {
+	var rev Path
+	cur := dst
+	for cur != src {
+		eid := prevEdge[cur]
+		if eid < 0 {
+			return nil
+		}
+		rev = append(rev, eid)
+		cur = g.Edge(eid).From
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

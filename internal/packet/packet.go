@@ -1,0 +1,201 @@
+// Package packet provides the packet-routing and packet-scheduling substrate
+// used by the packet-based coflow algorithms (§3 of the paper):
+//
+//   - ListSchedule: greedy unit-time job-shop list scheduling of packets with
+//     fixed paths (the machinery behind the §3.1 reduction) — at every step
+//     each directed edge carries at most one packet and packets advance in a
+//     caller-supplied priority order.
+//   - EarliestArrivalSchedule: per-packet earliest-arrival routing over the
+//     time-expanded graph, reserving (edge, step) slots as it goes — the
+//     routing + scheduling primitive applied interval by interval in §3.2.
+//   - Congestion and Dilation: the C and D of the classical O(C + D) packet
+//     scheduling results, used to bound schedule quality in tests.
+package packet
+
+import (
+	"fmt"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/timeexp"
+)
+
+// Congestion returns the maximum, over directed edges, of the number of
+// packets whose path uses that edge.
+func Congestion(g *graph.Graph, paths map[coflow.FlowRef]graph.Path) int {
+	count := make([]int, g.NumEdges())
+	max := 0
+	for _, p := range paths {
+		for _, e := range p {
+			count[e]++
+			if count[e] > max {
+				max = count[e]
+			}
+		}
+	}
+	return max
+}
+
+// Dilation returns the maximum path length.
+func Dilation(paths map[coflow.FlowRef]graph.Path) int {
+	max := 0
+	for _, p := range paths {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	return max
+}
+
+// ListSchedule schedules packets over fixed paths with greedy list
+// scheduling: time advances in unit steps; at each step packets are
+// considered in the given priority order and a packet crosses its next edge
+// if it has been released, has arrived at that edge's tail, and no
+// higher-priority packet grabbed the edge this step. The resulting makespan
+// is O(congestion + dilation) for each priority class, in the spirit of
+// Leighton–Maggs–Rao.
+//
+// startAt delays the entire batch: no packet moves before that step (used by
+// the interval-by-interval rounding of §3.2). The order must contain every
+// key of paths exactly once.
+func ListSchedule(inst *coflow.Instance, paths map[coflow.FlowRef]graph.Path, order []coflow.FlowRef, startAt int) (*coflow.PacketSchedule, error) {
+	type state struct {
+		ref   coflow.FlowRef
+		path  graph.Path
+		pos   int // next edge index
+		ready int // step at which the packet may next move
+	}
+	states := make([]*state, 0, len(order))
+	seen := make(map[coflow.FlowRef]bool, len(order))
+	for _, ref := range order {
+		p, ok := paths[ref]
+		if !ok {
+			return nil, fmt.Errorf("packet: flow %s missing from paths", ref)
+		}
+		if seen[ref] {
+			return nil, fmt.Errorf("packet: flow %s appears twice in the order", ref)
+		}
+		seen[ref] = true
+		f := inst.Flow(ref)
+		if err := p.Validate(inst.Network, f.Source, f.Dest); err != nil {
+			return nil, fmt.Errorf("packet: flow %s: %v", ref, err)
+		}
+		ready := int(f.Release)
+		if f.Release > float64(ready) {
+			ready++ // round fractional releases up to the next step
+		}
+		if ready < startAt {
+			ready = startAt
+		}
+		states = append(states, &state{ref: ref, path: p, pos: 0, ready: ready})
+	}
+	if len(states) != len(paths) {
+		return nil, fmt.Errorf("packet: order has %d flows, paths has %d", len(states), len(paths))
+	}
+
+	ps := coflow.NewPacketSchedule()
+	for _, st := range states {
+		ps.Set(st.ref, &coflow.PacketFlowSchedule{})
+	}
+
+	remaining := len(states)
+	// A trivial upper bound on the makespan: every packet waits for every
+	// other packet on every hop.
+	limit := startAt + Dilation(paths) + len(states)*Congestion(inst.Network, paths) + int(inst.MaxRelease()) + 2
+	for t := startAt; remaining > 0; t++ {
+		if t > limit {
+			return nil, fmt.Errorf("packet: list scheduling exceeded its makespan bound %d", limit)
+		}
+		used := make(map[graph.EdgeID]bool)
+		for _, st := range states {
+			if st.pos >= len(st.path) || st.ready > t {
+				continue
+			}
+			e := st.path[st.pos]
+			if used[e] {
+				continue
+			}
+			used[e] = true
+			sched := ps.Get(st.ref)
+			sched.Moves = append(sched.Moves, coflow.PacketMove{Time: t, Edge: e})
+			st.pos++
+			st.ready = t + 1
+			if st.pos >= len(st.path) {
+				remaining--
+			}
+		}
+	}
+	return ps, nil
+}
+
+// EarliestArrivalSchedule routes and schedules packets one at a time in the
+// given priority order: each packet takes the earliest-arrival route through
+// the time-expanded graph given the slots already reserved by earlier
+// packets. Unlike ListSchedule it chooses paths itself (the "paths not
+// given" setting); pinned packets (with f.Path != nil) still follow their
+// path but are timed by the same reservation mechanism.
+func EarliestArrivalSchedule(inst *coflow.Instance, order []coflow.FlowRef, startAt int) (*coflow.PacketSchedule, error) {
+	// Horizon: every packet can always be scheduled within
+	// (#packets + startAt + maxRelease) * diameter-ish steps; use a generous
+	// bound based on edges and packets.
+	horizon := startAt + int(inst.MaxRelease()) + (inst.NumFlows()+1)*(inst.Network.NumNodes()+2)
+	te := timeexp.New(inst.Network, horizon)
+
+	type slot struct {
+		e graph.EdgeID
+		t int
+	}
+	reserved := make(map[slot]bool)
+	occupied := func(e graph.EdgeID, t int) bool { return reserved[slot{e, t}] }
+
+	ps := coflow.NewPacketSchedule()
+	seen := make(map[coflow.FlowRef]bool, len(order))
+	for _, ref := range order {
+		if seen[ref] {
+			return nil, fmt.Errorf("packet: flow %s appears twice in the order", ref)
+		}
+		seen[ref] = true
+		f := inst.Flow(ref)
+		release := int(f.Release)
+		if f.Release > float64(release) {
+			release++
+		}
+		if release < startAt {
+			release = startAt
+		}
+		var moves []timeexp.Move
+		if f.Path != nil {
+			moves = scheduleAlongPath(f.Path, release, occupied, horizon)
+		} else {
+			moves = te.EarliestArrival(f.Source, f.Dest, release, occupied)
+		}
+		if moves == nil {
+			return nil, fmt.Errorf("packet: could not schedule flow %s within horizon %d", ref, horizon)
+		}
+		sched := &coflow.PacketFlowSchedule{}
+		for _, m := range moves {
+			reserved[slot{m.Edge, m.Time}] = true
+			sched.Moves = append(sched.Moves, coflow.PacketMove{Time: m.Time, Edge: m.Edge})
+		}
+		ps.Set(ref, sched)
+	}
+	return ps, nil
+}
+
+// scheduleAlongPath times a packet along a fixed path, crossing each edge at
+// the first free step after arriving at its tail.
+func scheduleAlongPath(path graph.Path, release int, occupied func(graph.EdgeID, int) bool, horizon int) []timeexp.Move {
+	t := release
+	moves := make([]timeexp.Move, 0, len(path))
+	for _, e := range path {
+		for t < horizon && occupied(e, t) {
+			t++
+		}
+		if t >= horizon {
+			return nil
+		}
+		moves = append(moves, timeexp.Move{Time: t, Edge: e})
+		t++
+	}
+	return moves
+}

@@ -1,0 +1,378 @@
+// Package sim implements the flow-level event-driven simulator described in
+// §4.1 of the paper. Packet-level simulation is too slow for coflow
+// experiments, so — like Varys, RAPIER and the paper itself — we simulate at
+// the granularity of flows: each flow is an event at its release time, the
+// simulator repeatedly assigns bandwidth to the active flows according to a
+// policy, and a second event occurs when a flow completes and releases its
+// reserved bandwidth.
+//
+// Two bandwidth-assignment policies are provided:
+//
+//   - Priority: flows are served greedily in a caller-supplied order; each
+//     flow in turn grabs the bottleneck residual capacity along its path.
+//     This is the mechanism behind the LP-Based scheduler's practical mode
+//     and the Schedule-only / Baseline heuristics.
+//   - FairShare: max-min fair sharing across all active flows (progressive
+//     filling), modelling the "every flow gets its fair share" comparator of
+//     Figure 1 (s1).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+)
+
+// Policy selects how bandwidth is divided among active flows.
+type Policy int
+
+const (
+	// Priority serves active flows greedily in the order given by
+	// Config.Order.
+	Priority Policy = iota
+	// FairShare performs max-min fair sharing among all active flows.
+	FairShare
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Paths gives the route of every flow. Flows absent from the map fall
+	// back to the instance's pre-assigned path.
+	Paths map[coflow.FlowRef]graph.Path
+	// Order is the priority order used by the Priority policy; it must
+	// contain every flow exactly once. Ignored by FairShare.
+	Order []coflow.FlowRef
+	// Policy selects the bandwidth-assignment policy.
+	Policy Policy
+}
+
+// completionTol treats a flow as finished once its remaining volume drops
+// below this fraction of its size (guards against FP drift in long runs).
+const completionTol = 1e-9
+
+// flowState is the simulator's working record for one flow.
+type flowState struct {
+	ref       coflow.FlowRef
+	path      graph.Path
+	release   float64
+	remaining float64
+	size      float64
+	rank      int // position in the priority order
+	schedule  *coflow.FlowSchedule
+	done      bool
+}
+
+// eventQueue orders pending event times.
+type eventQueue []float64
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i] < q[j] }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(float64)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	v := old[n-1]
+	*q = old[:n-1]
+	return v
+}
+
+// Run simulates the instance under the given configuration and returns the
+// resulting circuit schedule (which callers can Validate and score).
+func Run(inst *coflow.Instance, cfg Config) (*coflow.CircuitSchedule, error) {
+	refs := inst.FlowRefs()
+	states := make(map[coflow.FlowRef]*flowState, len(refs))
+
+	rank := make(map[coflow.FlowRef]int, len(refs))
+	if cfg.Policy == Priority {
+		if len(cfg.Order) != len(refs) {
+			return nil, fmt.Errorf("sim: priority order has %d flows, instance has %d", len(cfg.Order), len(refs))
+		}
+		for i, r := range cfg.Order {
+			if _, dup := rank[r]; dup {
+				return nil, fmt.Errorf("sim: flow %s appears twice in the priority order", r)
+			}
+			rank[r] = i
+		}
+	}
+
+	for _, r := range refs {
+		f := inst.Flow(r)
+		path := f.Path
+		if p, ok := cfg.Paths[r]; ok {
+			path = p
+		}
+		if path == nil {
+			return nil, fmt.Errorf("sim: flow %s has no path", r)
+		}
+		if err := path.Validate(inst.Network, f.Source, f.Dest); err != nil {
+			return nil, fmt.Errorf("sim: flow %s: %v", r, err)
+		}
+		rk, ok := rank[r]
+		if !ok {
+			if cfg.Policy == Priority {
+				return nil, fmt.Errorf("sim: flow %s missing from priority order", r)
+			}
+			rk = 0
+		}
+		states[r] = &flowState{
+			ref:       r,
+			path:      path,
+			release:   f.Release,
+			remaining: f.Size,
+			size:      f.Size,
+			rank:      rk,
+			schedule:  &coflow.FlowSchedule{Path: path},
+		}
+	}
+
+	// Seed the event queue with distinct release times.
+	eq := &eventQueue{}
+	seen := map[float64]bool{}
+	for _, st := range states {
+		if !seen[st.release] {
+			seen[st.release] = true
+			heap.Push(eq, st.release)
+		}
+	}
+	if eq.Len() == 0 {
+		return coflow.NewCircuitSchedule(), nil
+	}
+
+	now := heap.Pop(eq).(float64)
+	guard := 0
+	maxEvents := 10*len(refs) + 100
+
+	for {
+		guard++
+		if guard > maxEvents*10 {
+			return nil, fmt.Errorf("sim: event budget exhausted (likely a starving flow)")
+		}
+		active := activeFlows(states, now)
+		if len(active) == 0 {
+			if eq.Len() == 0 {
+				break
+			}
+			now = heap.Pop(eq).(float64)
+			continue
+		}
+
+		rates := allocate(inst.Network, active, cfg.Policy)
+
+		// Find the next event: earliest completion under current rates or the
+		// next release, whichever is first.
+		next := math.Inf(1)
+		if eq.Len() > 0 {
+			next = (*eq)[0]
+		}
+		for i, st := range active {
+			if rates[i] > 0 {
+				t := now + st.remaining/rates[i]
+				if t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			// No active flow can make progress and nothing else is pending;
+			// cannot happen with the greedy allocators (the top-priority flow
+			// always gets the bottleneck capacity), but guard anyway.
+			return nil, fmt.Errorf("sim: no progress possible at time %v", now)
+		}
+		// Advance time, recording a segment per flow that transmitted.
+		dt := next - now
+		if dt > 0 {
+			for i, st := range active {
+				if rates[i] <= 0 {
+					continue
+				}
+				st.schedule.Segments = append(st.schedule.Segments, coflow.BandwidthSegment{
+					Start: now, End: next, Rate: rates[i],
+				})
+				st.remaining -= rates[i] * dt
+				if st.remaining <= completionTol*st.size {
+					st.remaining = 0
+					st.done = true
+				}
+			}
+		}
+		// Drop the release event we just consumed (if that's what 'next' was).
+		for eq.Len() > 0 && (*eq)[0] <= next+1e-15 {
+			heap.Pop(eq)
+		}
+		now = next
+
+		if allDone(states) && eq.Len() == 0 {
+			break
+		}
+	}
+
+	cs := coflow.NewCircuitSchedule()
+	for r, st := range states {
+		mergeSegments(st.schedule)
+		cs.Set(r, st.schedule)
+	}
+	return cs, nil
+}
+
+// activeFlows returns released, unfinished flows sorted by priority rank
+// (then by reference for determinism).
+func activeFlows(states map[coflow.FlowRef]*flowState, now float64) []*flowState {
+	var active []*flowState
+	for _, st := range states {
+		if !st.done && st.release <= now+1e-15 {
+			active = append(active, st)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].rank != active[j].rank {
+			return active[i].rank < active[j].rank
+		}
+		if active[i].ref.Coflow != active[j].ref.Coflow {
+			return active[i].ref.Coflow < active[j].ref.Coflow
+		}
+		return active[i].ref.Index < active[j].ref.Index
+	})
+	return active
+}
+
+func allDone(states map[coflow.FlowRef]*flowState) bool {
+	for _, st := range states {
+		if !st.done {
+			return false
+		}
+	}
+	return true
+}
+
+// allocate computes the instantaneous rate of each active flow.
+func allocate(g *graph.Graph, active []*flowState, policy Policy) []float64 {
+	switch policy {
+	case FairShare:
+		return allocateFairShare(g, active)
+	default:
+		return allocatePriority(g, active)
+	}
+}
+
+// allocatePriority serves flows in order, each grabbing the bottleneck
+// residual capacity of its path.
+func allocatePriority(g *graph.Graph, active []*flowState) []float64 {
+	residual := make([]float64, g.NumEdges())
+	for i := range residual {
+		residual[i] = g.Capacity(graph.EdgeID(i))
+	}
+	rates := make([]float64, len(active))
+	for i, st := range active {
+		r := math.Inf(1)
+		for _, e := range st.path {
+			if residual[e] < r {
+				r = residual[e]
+			}
+		}
+		if r < 1e-12 || math.IsInf(r, 1) {
+			r = 0
+		}
+		rates[i] = r
+		for _, e := range st.path {
+			residual[e] -= r
+		}
+	}
+	return rates
+}
+
+// allocateFairShare computes a max-min fair allocation by progressive
+// filling: repeatedly find the most congested edge, split its residual
+// capacity equally among the unfixed flows crossing it, and freeze them.
+func allocateFairShare(g *graph.Graph, active []*flowState) []float64 {
+	residual := make([]float64, g.NumEdges())
+	for i := range residual {
+		residual[i] = g.Capacity(graph.EdgeID(i))
+	}
+	rates := make([]float64, len(active))
+	fixed := make([]bool, len(active))
+	remaining := len(active)
+
+	// flowsOnEdge[e] lists indices of active flows whose path uses e. Edges
+	// are visited in id order so ties resolve deterministically.
+	flowsOnEdge := make(map[graph.EdgeID][]int)
+	var usedEdges []graph.EdgeID
+	for i, st := range active {
+		for _, e := range st.path {
+			if _, ok := flowsOnEdge[e]; !ok {
+				usedEdges = append(usedEdges, e)
+			}
+			flowsOnEdge[e] = append(flowsOnEdge[e], i)
+		}
+	}
+	sort.Slice(usedEdges, func(i, j int) bool { return usedEdges[i] < usedEdges[j] })
+
+	for remaining > 0 {
+		// Find the edge with the smallest fair share among unfixed flows.
+		bestEdge := graph.EdgeID(-1)
+		bestShare := math.Inf(1)
+		for _, e := range usedEdges {
+			flows := flowsOnEdge[e]
+			unfixed := 0
+			for _, i := range flows {
+				if !fixed[i] {
+					unfixed++
+				}
+			}
+			if unfixed == 0 {
+				continue
+			}
+			share := residual[e] / float64(unfixed)
+			if share < bestShare {
+				bestShare = share
+				bestEdge = e
+			}
+		}
+		if bestEdge < 0 {
+			// Remaining flows use no edges (cannot happen: src != dst) —
+			// freeze them at zero to terminate.
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		for _, i := range flowsOnEdge[bestEdge] {
+			if fixed[i] {
+				continue
+			}
+			rates[i] = bestShare
+			fixed[i] = true
+			remaining--
+			for _, e := range active[i].path {
+				residual[e] -= bestShare
+				if residual[e] < 0 {
+					residual[e] = 0
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// mergeSegments coalesces adjacent segments with identical rates to keep
+// schedules small.
+func mergeSegments(fs *coflow.FlowSchedule) {
+	if len(fs.Segments) <= 1 {
+		return
+	}
+	sort.Slice(fs.Segments, func(i, j int) bool { return fs.Segments[i].Start < fs.Segments[j].Start })
+	merged := fs.Segments[:1]
+	for _, s := range fs.Segments[1:] {
+		last := &merged[len(merged)-1]
+		if math.Abs(last.End-s.Start) < 1e-12 && math.Abs(last.Rate-s.Rate) < 1e-12 {
+			last.End = s.End
+			continue
+		}
+		merged = append(merged, s)
+	}
+	fs.Segments = merged
+}

@@ -1,0 +1,176 @@
+// Package stats provides the small statistical and tabulation helpers used
+// by the experiment harness: means, standard deviations/errors, ratios,
+// percentage improvements and fixed-width text tables matching the series
+// reported in the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the median of xs (0 for an empty slice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Ratio returns a/b, or 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ImprovementPercent returns how much better (smaller) "ours" is than
+// "theirs", expressed the way the paper reports it: (theirs/ours - 1) * 100.
+// A value of 22 means the competing scheme's completion time is 22% larger.
+func ImprovementPercent(ours, theirs float64) float64 {
+	if ours == 0 {
+		return 0
+	}
+	return (theirs/ours - 1) * 100
+}
+
+// Series is a named sequence of values, one per x-axis point of a figure.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Table is a simple column-oriented table used to print figure data: one row
+// per x-axis label and one column per series.
+type Table struct {
+	Title     string
+	XLabel    string
+	XValues   []string
+	SeriesSet []Series
+}
+
+// NewTable creates a table with the given title and x-axis labels.
+func NewTable(title, xlabel string, xvalues []string) *Table {
+	return &Table{Title: title, XLabel: xlabel, XValues: xvalues}
+}
+
+// AddSeries appends a series; its length must match the x-axis.
+func (t *Table) AddSeries(name string, values []float64) error {
+	if len(values) != len(t.XValues) {
+		return fmt.Errorf("stats: series %q has %d values, table has %d rows", name, len(values), len(t.XValues))
+	}
+	t.SeriesSet = append(t.SeriesSet, Series{Name: name, Values: values})
+	return nil
+}
+
+// String renders the table as fixed-width text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-18s", t.XLabel)
+	for _, s := range t.SeriesSet {
+		fmt.Fprintf(&b, "%16s", s.Name)
+	}
+	b.WriteString("\n")
+	for i, x := range t.XValues {
+		fmt.Fprintf(&b, "%-18s", x)
+		for _, s := range t.SeriesSet {
+			fmt.Fprintf(&b, "%16.2f", s.Values[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.SeriesSet {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	for i, x := range t.XValues {
+		b.WriteString(x)
+		for _, s := range t.SeriesSet {
+			fmt.Fprintf(&b, ",%.6g", s.Values[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// NormalizeTo returns a copy of the table in which every series is divided,
+// row by row, by the series with the given name (the paper's "ratio with
+// respect to baseline" panels). It returns an error if the reference series
+// is missing.
+func (t *Table) NormalizeTo(reference string) (*Table, error) {
+	var ref *Series
+	for i := range t.SeriesSet {
+		if t.SeriesSet[i].Name == reference {
+			ref = &t.SeriesSet[i]
+			break
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("stats: reference series %q not found", reference)
+	}
+	out := NewTable(t.Title+" (ratio vs "+reference+")", t.XLabel, t.XValues)
+	for _, s := range t.SeriesSet {
+		vals := make([]float64, len(s.Values))
+		for i := range s.Values {
+			vals[i] = Ratio(s.Values[i], ref.Values[i])
+		}
+		if err := out.AddSeries(s.Name, vals); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

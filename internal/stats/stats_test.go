@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStdMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v, want 5", Mean(xs))
+	}
+	if math.Abs(StdDev(xs)-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if math.Abs(StdErr(xs)-StdDev(xs)/math.Sqrt(8)) > 1e-12 {
+		t.Errorf("StdErr = %v", StdErr(xs))
+	}
+	if Median(xs) != 4.5 {
+		t.Errorf("Median = %v, want 4.5", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Errorf("odd Median wrong")
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdErr(nil) != 0 || Median(nil) != 0 {
+		t.Errorf("empty-slice helpers should return 0")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Errorf("single-sample StdDev should be 0")
+	}
+}
+
+func TestRatioAndImprovement(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Errorf("Ratio wrong")
+	}
+	// If competitor takes 122 and we take 100, improvement is 22%.
+	if math.Abs(ImprovementPercent(100, 122)-22) > 1e-9 {
+		t.Errorf("ImprovementPercent = %v, want 22", ImprovementPercent(100, 122))
+	}
+	if ImprovementPercent(0, 5) != 0 {
+		t.Errorf("zero denominator should give 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure 3", "width", []string{"4", "8"})
+	if err := tab.AddSeries("LP-Based", []float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddSeries("Baseline", []float64{20, 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddSeries("oops", []float64{1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	s := tab.String()
+	for _, want := range []string{"Figure 3", "width", "LP-Based", "Baseline", "10.00", "50.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "width,LP-Based,Baseline\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "4,10,20") {
+		t.Errorf("CSV rows wrong: %q", csv)
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	tab := NewTable("Fig", "x", []string{"a", "b"})
+	_ = tab.AddSeries("LP-Based", []float64{10, 20})
+	_ = tab.AddSeries("Baseline", []float64{20, 50})
+	norm, err := tab.NormalizeTo("Baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.SeriesSet[0].Values[0] != 0.5 || norm.SeriesSet[1].Values[1] != 1 {
+		t.Errorf("normalized values wrong: %+v", norm.SeriesSet)
+	}
+	if _, err := tab.NormalizeTo("nope"); err == nil {
+		t.Error("expected missing-reference error")
+	}
+}

@@ -1,0 +1,144 @@
+// Package workload generates random coflow scheduling instances following
+// the paper's evaluation methodology (§4.1): coflow instances are drawn at
+// random with flow release times, flow sizes and coflow weights based on
+// Poisson distributions, over a datacenter topology whose hosts serve as
+// sources and destinations.
+//
+// All randomness is derived from an explicit *rand.Rand, so experiments are
+// reproducible given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+)
+
+// Config describes a random coflow workload.
+type Config struct {
+	// NumCoflows is the number of coflows to generate.
+	NumCoflows int
+	// Width is the number of flows per coflow (the paper's "coflow width").
+	Width int
+	// MeanSize is the mean of the Poisson distribution for flow sizes. Sizes
+	// are shifted by +1 so no flow is empty. The paper's 1 Gb/s links make a
+	// unit of size correspond to one second of exclusive link use.
+	MeanSize float64
+	// MeanRelease is the mean of the Poisson distribution from which each
+	// flow's release time is drawn. Zero means all flows are released at 0.
+	MeanRelease float64
+	// MeanWeight is the mean of the Poisson distribution for coflow weights.
+	// Weights are shifted by +1 so every coflow matters. Zero gives all
+	// coflows weight 1.
+	MeanWeight float64
+	// PacketModel, when true, forces every flow size to 1 (packets).
+	PacketModel bool
+}
+
+// withDefaults fills in unset values.
+func (c Config) withDefaults() Config {
+	if c.NumCoflows <= 0 {
+		c.NumCoflows = 10
+	}
+	if c.Width <= 0 {
+		c.Width = 16
+	}
+	if c.MeanSize <= 0 {
+		c.MeanSize = 4
+	}
+	if c.MeanWeight < 0 {
+		c.MeanWeight = 0
+	}
+	if c.MeanRelease < 0 {
+		c.MeanRelease = 0
+	}
+	return c
+}
+
+// Poisson draws a Poisson-distributed integer with the given mean using
+// Knuth's algorithm (adequate for the small means used in experiments).
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation for large means keeps the loop bounded.
+		v := rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Generate builds a random instance on the given network. Sources and
+// destinations are sampled uniformly at random from the network's hosts
+// (distinct per flow). Generate returns an error if the network has fewer
+// than two hosts.
+func Generate(g *graph.Graph, cfg Config, rng *rand.Rand) (*coflow.Instance, error) {
+	cfg = cfg.withDefaults()
+	hosts := g.Hosts()
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("workload: network has %d hosts, need at least 2", len(hosts))
+	}
+	inst := &coflow.Instance{Network: g}
+	for i := 0; i < cfg.NumCoflows; i++ {
+		weight := 1.0
+		if cfg.MeanWeight > 0 {
+			weight = float64(Poisson(rng, cfg.MeanWeight) + 1)
+		}
+		cf := coflow.Coflow{Name: fmt.Sprintf("coflow-%d", i), Weight: weight}
+		for j := 0; j < cfg.Width; j++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			size := 1.0
+			if !cfg.PacketModel {
+				size = float64(Poisson(rng, cfg.MeanSize) + 1)
+			}
+			release := 0.0
+			if cfg.MeanRelease > 0 {
+				release = float64(Poisson(rng, cfg.MeanRelease))
+			}
+			cf.Flows = append(cf.Flows, coflow.Flow{
+				Source:  src,
+				Dest:    dst,
+				Size:    size,
+				Release: release,
+			})
+		}
+		inst.Coflows = append(inst.Coflows, cf)
+	}
+	if err := inst.Validate(cfg.PacketModel); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid instance: %w", err)
+	}
+	return inst, nil
+}
+
+// GenerateWithPaths is Generate followed by shortest-path assignment, for the
+// "paths given" problem variants.
+func GenerateWithPaths(g *graph.Graph, cfg Config, rng *rand.Rand) (*coflow.Instance, error) {
+	inst, err := Generate(g, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.AssignShortestPaths(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/graph"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0.5, 2, 8, 40} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(Poisson(rng, mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean) > 0.15*mean+0.1 {
+			t.Errorf("Poisson(%v): empirical mean %v", mean, got)
+		}
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Errorf("Poisson with non-positive mean should be 0")
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	rng := rand.New(rand.NewSource(7))
+	inst, err := Generate(g, Config{NumCoflows: 5, Width: 8, MeanSize: 3, MeanRelease: 2, MeanWeight: 1}, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(inst.Coflows) != 5 {
+		t.Fatalf("coflows = %d, want 5", len(inst.Coflows))
+	}
+	for i, cf := range inst.Coflows {
+		if len(cf.Flows) != 8 {
+			t.Errorf("coflow %d width = %d, want 8", i, len(cf.Flows))
+		}
+		if cf.Weight < 1 {
+			t.Errorf("coflow %d weight = %v, want >= 1", i, cf.Weight)
+		}
+		for j, f := range cf.Flows {
+			if f.Size < 1 {
+				t.Errorf("flow %d.%d size %v < 1", i, j, f.Size)
+			}
+			if f.Source == f.Dest {
+				t.Errorf("flow %d.%d has identical endpoints", i, j)
+			}
+			if g.Node(f.Source).Kind != graph.KindHost || g.Node(f.Dest).Kind != graph.KindHost {
+				t.Errorf("flow %d.%d endpoints are not hosts", i, j)
+			}
+			if f.Release < 0 {
+				t.Errorf("flow %d.%d release %v < 0", i, j, f.Release)
+			}
+		}
+	}
+	if err := inst.Validate(false); err != nil {
+		t.Errorf("generated instance invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	gen := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		inst, err := Generate(g, Config{NumCoflows: 3, Width: 4, MeanSize: 5, MeanRelease: 1, MeanWeight: 2}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizes []float64
+		for _, cf := range inst.Coflows {
+			for _, f := range cf.Flows {
+				sizes = append(sizes, f.Size, float64(f.Source), float64(f.Dest), f.Release)
+			}
+		}
+		return sizes
+	}
+	a, b := gen(11), gen(11)
+	c := gen(12)
+	same := len(a) == len(b)
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Errorf("same seed should generate identical instances")
+	}
+	diff := false
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Errorf("different seeds should generate different instances")
+	}
+}
+
+func TestGenerateDefaultsAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Defaults kick in for zero values.
+	inst, err := Generate(graph.FatTree(4, 1), Config{}, rng)
+	if err != nil {
+		t.Fatalf("Generate with defaults: %v", err)
+	}
+	if len(inst.Coflows) != 10 || len(inst.Coflows[0].Flows) != 16 {
+		t.Errorf("defaults not applied: %d coflows width %d", len(inst.Coflows), len(inst.Coflows[0].Flows))
+	}
+	// Not enough hosts.
+	single := graph.New()
+	single.AddNode("only", graph.KindHost)
+	if _, err := Generate(single, Config{}, rng); err == nil {
+		t.Error("expected error for single-host network")
+	}
+}
+
+func TestGeneratePacketModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst, err := Generate(graph.Grid(3, 3, 1), Config{NumCoflows: 4, Width: 3, PacketModel: true}, rng)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, cf := range inst.Coflows {
+		for _, f := range cf.Flows {
+			if f.Size != 1 {
+				t.Errorf("packet model flow size = %v, want 1", f.Size)
+			}
+		}
+	}
+	if err := inst.Validate(true); err != nil {
+		t.Errorf("packet instance invalid: %v", err)
+	}
+}
+
+func TestGenerateWithPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst, err := GenerateWithPaths(graph.FatTree(4, 1), Config{NumCoflows: 3, Width: 5}, rng)
+	if err != nil {
+		t.Fatalf("GenerateWithPaths: %v", err)
+	}
+	if !inst.HasPaths() {
+		t.Errorf("paths not assigned")
+	}
+	for _, ref := range inst.FlowRefs() {
+		f := inst.Flow(ref)
+		if err := f.Path.Validate(inst.Network, f.Source, f.Dest); err != nil {
+			t.Errorf("flow %s: %v", ref, err)
+		}
+	}
+}
