@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, all")
 		paper      = flag.Bool("paper", false, "use the paper's full-scale configuration (128-server fat-tree, slow)")
 		fatK       = flag.Int("fatk", 0, "fat-tree arity k (overrides the configuration; k=8 is the paper's 128 servers)")
 		trials     = flag.Int("trials", 0, "trials per data point (override)")
@@ -89,6 +89,34 @@ func main() {
 			res, err := experiments.Ablation(experiments.DefaultAblationConfig())
 			exitOn(err)
 			fmt.Println(res)
+		case "online":
+			ocfg := experiments.DefaultOnlineConfig()
+			if *paper {
+				ocfg = experiments.PaperOnlineConfig()
+			}
+			if *fatK > 0 {
+				ocfg.FatK = *fatK
+			}
+			if *trials > 0 {
+				ocfg.Trials = *trials
+			}
+			if *seed != 0 {
+				ocfg.Seed = *seed
+			}
+			if *coflows > 0 {
+				ocfg.NumCoflows = *coflows
+			}
+			if *width > 0 {
+				ocfg.Width = *width
+			}
+			res, err := experiments.OnlineSweep(ocfg)
+			exitOn(err)
+			if *csv {
+				fmt.Print(res.Absolute.CSV())
+				fmt.Print(res.Ratio.CSV())
+			} else {
+				fmt.Println(res)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -96,7 +124,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation"} {
+		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online"} {
 			fmt.Printf("=== %s ===\n", name)
 			run(name)
 			fmt.Println()

@@ -1,0 +1,3 @@
+module coflowsched
+
+go 1.22

@@ -110,18 +110,11 @@ func (SEBF) Schedule(inst *coflow.Instance, rng *rand.Rand) (*coflow.CircuitSche
 	// Effective bottleneck per coflow: load it places on its busiest edge.
 	gamma := make([]float64, len(inst.Coflows))
 	for i, cf := range inst.Coflows {
-		load := map[graph.EdgeID]float64{}
+		loads := make([]graph.PathLoad, len(cf.Flows))
 		for j := range cf.Flows {
-			ref := coflow.FlowRef{Coflow: i, Index: j}
-			for _, e := range paths[ref] {
-				load[e] += cf.Flows[j].Size / inst.Network.Capacity(e)
-			}
+			loads[j] = graph.PathLoad{Path: paths[coflow.FlowRef{Coflow: i, Index: j}], Volume: cf.Flows[j].Size}
 		}
-		for _, l := range load {
-			if l > gamma[i] {
-				gamma[i] = l
-			}
-		}
+		gamma[i] = inst.Network.BottleneckTime(loads)
 		if cf.Weight > 0 {
 			gamma[i] /= cf.Weight
 		}

@@ -1,0 +1,102 @@
+package coflow
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/graph"
+)
+
+// TestJSONRoundTrip checks that WriteJSON → ReadJSON preserves the network
+// (nodes, edges, capacities) and the coflows (weights, flows, sizes, release
+// times) exactly.
+func TestJSONRoundTrip(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	hosts := g.Hosts()
+	rng := rand.New(rand.NewSource(5))
+	inst := &Instance{Network: g}
+	for i := 0; i < 3; i++ {
+		cf := Coflow{Name: "cf", Weight: float64(i + 1)}
+		for j := 0; j < 4; j++ {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			cf.Flows = append(cf.Flows, Flow{
+				Source:  src,
+				Dest:    dst,
+				Size:    float64(rng.Intn(9) + 1),
+				Release: float64(rng.Intn(5)),
+			})
+		}
+		inst.Coflows = append(inst.Coflows, cf)
+	}
+
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	// Network round-trips.
+	if got.Network.NumNodes() != g.NumNodes() {
+		t.Fatalf("nodes: got %d, want %d", got.Network.NumNodes(), g.NumNodes())
+	}
+	if got.Network.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges: got %d, want %d", got.Network.NumEdges(), g.NumEdges())
+	}
+	wantNodes, gotNodes := g.Nodes(), got.Network.Nodes()
+	for i := range wantNodes {
+		if wantNodes[i].Name != gotNodes[i].Name || wantNodes[i].Kind != gotNodes[i].Kind {
+			t.Errorf("node %d: got %+v, want %+v", i, gotNodes[i], wantNodes[i])
+		}
+	}
+	wantEdges, gotEdges := g.Edges(), got.Network.Edges()
+	for i := range wantEdges {
+		if wantEdges[i].From != gotEdges[i].From || wantEdges[i].To != gotEdges[i].To ||
+			wantEdges[i].Capacity != gotEdges[i].Capacity {
+			t.Errorf("edge %d: got %+v, want %+v", i, gotEdges[i], wantEdges[i])
+		}
+	}
+
+	// Coflows round-trip.
+	if len(got.Coflows) != len(inst.Coflows) {
+		t.Fatalf("coflows: got %d, want %d", len(got.Coflows), len(inst.Coflows))
+	}
+	for i, cf := range inst.Coflows {
+		gcf := got.Coflows[i]
+		if gcf.Name != cf.Name || gcf.Weight != cf.Weight || len(gcf.Flows) != len(cf.Flows) {
+			t.Fatalf("coflow %d header: got %+v, want %+v", i, gcf, cf)
+		}
+		for j, f := range cf.Flows {
+			gf := gcf.Flows[j]
+			if gf.Source != f.Source || gf.Dest != f.Dest || gf.Size != f.Size || gf.Release != f.Release {
+				t.Errorf("coflow %d flow %d: got %+v, want %+v", i, j, gf, f)
+			}
+		}
+	}
+
+	// The round-tripped instance is still valid and usable.
+	if err := got.Validate(false); err != nil {
+		t.Fatalf("round-tripped instance invalid: %v", err)
+	}
+}
+
+// TestReadJSONRejectsCorruptInput covers the decoder's error paths.
+func TestReadJSONRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{nope",
+		"bad edge node": `{"nodes":[{"name":"a","kind":0}],"edges":[{"from":0,"to":5,"capacity":1}],"coflows":[]}`,
+		"zero capacity": `{"nodes":[{"name":"a","kind":0},{"name":"b","kind":0}],"edges":[{"from":0,"to":1,"capacity":0}],"coflows":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

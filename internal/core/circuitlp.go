@@ -158,7 +158,16 @@ func buildCircuitLP(inst *coflow.Instance, cands map[coflow.FlowRef][]graph.Path
 			}
 		}
 	}
-	for e, perInterval := range edgeTerms {
+	// Add capacity constraints in edge order: constraint order steers simplex
+	// pivoting, and ranging over the map directly would make tied LP optima —
+	// and thus the rounded schedule — vary from run to run.
+	edges := make([]graph.EdgeID, 0, len(edgeTerms))
+	for e := range edgeTerms {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	for _, e := range edges {
+		perInterval := edgeTerms[e]
 		capacity := inst.Network.Capacity(e)
 		for l, terms := range perInterval {
 			if len(terms) == 0 {

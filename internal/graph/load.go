@@ -1,0 +1,28 @@
+package graph
+
+// PathLoad pairs a path with the data volume routed over it.
+type PathLoad struct {
+	Path   Path
+	Volume float64
+}
+
+// BottleneckTime returns the completion-time lower bound of a set of flows
+// given the whole network to themselves: the maximum over edges of the total
+// volume crossing the edge divided by its capacity. This is the coflow
+// "length" Γ of Varys-style SEBF ordering, shared by the offline SEBF
+// baseline, the online residual SEBF policy and the online slowdown metric.
+func (g *Graph) BottleneckTime(loads []PathLoad) float64 {
+	load := make(map[EdgeID]float64)
+	for _, pl := range loads {
+		for _, e := range pl.Path {
+			load[e] += pl.Volume / g.Capacity(e)
+		}
+	}
+	max := 0.0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -24,12 +24,12 @@ func (pq *nodePQ) Swap(i, j int) {
 	pq.items[i].idx = i
 	pq.items[j].idx = j
 }
-func (pq *nodePQ) Push(x interface{}) {
+func (pq *nodePQ) Push(x any) {
 	it := x.(*nodeItem)
 	it.idx = len(pq.items)
 	pq.items = append(pq.items, it)
 }
-func (pq *nodePQ) Pop() interface{} {
+func (pq *nodePQ) Pop() any {
 	old := pq.items
 	n := len(old)
 	it := old[n-1]

@@ -1,0 +1,30 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+func benchRun(b *testing.B, p Policy) {
+	g := graph.FatTree(4, 1)
+	inst, _, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+		Config: workload.Config{NumCoflows: 8, Width: 3, MeanSize: 4},
+		Rate:   2.0,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatalf("generate: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(inst, p, Config{EpochLength: 2, Workers: 2}); err != nil {
+			b.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func BenchmarkOnlineFIFO(b *testing.B)    { benchRun(b, FIFOOnline{}) }
+func BenchmarkOnlineSEBF(b *testing.B)    { benchRun(b, SEBFOnline{}) }
+func BenchmarkOnlineLPEpoch(b *testing.B) { benchRun(b, LPEpoch{}) }

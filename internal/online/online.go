@@ -1,0 +1,111 @@
+// Package online implements an event-driven online coflow scheduler on top
+// of the offline building blocks: coflows arrive over time (see
+// workload.GenerateArrivals), time is divided into fixed-length epochs, and
+// at each epoch boundary a pluggable Policy re-prioritizes the residual
+// (partially transmitted) flows of the coflows that have arrived so far. The
+// resumable simulator (sim.Simulator) then advances to the next boundary
+// under that priority order.
+//
+// Policies never see the future: the Engine hands them a Snapshot containing
+// only arrived, unfinished coflows and their residual volumes. The one
+// deliberate exception is Oracle, the hindsight comparator, which is given
+// the full instance up front and serves as a lower-bound reference for the
+// price of online operation.
+//
+// Expensive policies (LPEpoch) are pipelined: the LP for epoch k+1 is solved
+// on a worker-pool goroutine from the snapshot taken at the start of epoch
+// k, overlapping the simulation of epoch k. The applied order therefore lags
+// one epoch behind the residual state it was computed from — exactly the
+// trade a real scheduler makes when its solver is slower than its epoch.
+package online
+
+import (
+	"math/rand"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+)
+
+// ResidualFlow is the policy-visible state of one flow: identity, route and
+// how much volume is still to transmit.
+type ResidualFlow struct {
+	Ref    coflow.FlowRef
+	Source graph.NodeID
+	Dest   graph.NodeID
+	// Path is the route fixed at admission; online policies re-prioritize
+	// but do not re-route in-flight circuits.
+	Path graph.Path
+	// Release is the flow's absolute release time.
+	Release float64
+	// Size is the flow's full volume; Remaining is what is left of it.
+	Size      float64
+	Remaining float64
+}
+
+// ResidualCoflow groups the residual flows of one arrived, unfinished
+// coflow.
+type ResidualCoflow struct {
+	// Index is the coflow's index in the original instance.
+	Index   int
+	Name    string
+	Weight  float64
+	Arrival float64
+	// Flows lists the coflow's unfinished flows (finished ones are elided).
+	Flows []ResidualFlow
+}
+
+// Snapshot is everything a policy may look at when deciding the next epoch's
+// priorities: the clock, the network, and the residual state of arrived
+// coflows. It is an immutable copy — policies run concurrently with the
+// simulation under pipelining, so they must not share state with the engine.
+type Snapshot struct {
+	// Now is the simulation time the snapshot was taken at.
+	Now float64
+	// Epoch is the index of the epoch about to be decided.
+	Epoch int
+	// Network is the (immutable) topology.
+	Network *graph.Graph
+	// Coflows lists arrived coflows with at least one unfinished flow,
+	// in arrival order.
+	Coflows []ResidualCoflow
+}
+
+// NumFlows returns the number of residual flows across all coflows.
+func (s *Snapshot) NumFlows() int {
+	n := 0
+	for _, cf := range s.Coflows {
+		n += len(cf.Flows)
+	}
+	return n
+}
+
+// Policy decides the priority order for an epoch. Implementations must be
+// deterministic given the snapshot (and their construction-time inputs):
+// the engine's determinism guarantee — same seed and config, same schedule —
+// rests on it.
+type Policy interface {
+	Name() string
+	// Decide returns a priority order over residual flows. The order may be
+	// partial; flows it omits are served last. Decide must not retain the
+	// snapshot after returning.
+	Decide(snap *Snapshot) ([]coflow.FlowRef, error)
+}
+
+// AsyncPolicy marks a policy whose Decide is expensive enough to pipeline.
+// When Async reports true the engine runs Decide for epoch k+1 on a worker
+// goroutine against the snapshot taken at the start of epoch k, overlapping
+// it with epoch k's simulation; the resulting order is applied one epoch
+// late. Cheap heuristics should not implement this (or return false): their
+// decisions are applied synchronously on fresh state.
+type AsyncPolicy interface {
+	Policy
+	Async() bool
+}
+
+// Preparer is implemented by policies that need to see the full hindsight
+// instance before the run starts (Oracle). The engine calls Prepare once,
+// before the first epoch, with the complete instance, the admission-time
+// routing it will simulate with, and a seeded rng.
+type Preparer interface {
+	Prepare(inst *coflow.Instance, paths map[coflow.FlowRef]graph.Path, rng *rand.Rand) error
+}

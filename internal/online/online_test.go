@@ -1,0 +1,285 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"coflowsched/internal/baselines"
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// onlineInstance draws a reproducible online workload on a k=4 fat-tree.
+func onlineInstance(t *testing.T, seed int64, rate float64, numCoflows int) *coflow.Instance {
+	t.Helper()
+	g := graph.FatTree(4, 1)
+	inst, _, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+		Config: workload.Config{NumCoflows: numCoflows, Width: 3, MeanSize: 4, MeanWeight: 1},
+		Rate:   rate,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return inst
+}
+
+func policies() []Policy {
+	return []Policy{
+		FIFOOnline{},
+		SEBFOnline{},
+		LPEpoch{},
+		NewOracle(baselines.SEBF{}),
+	}
+}
+
+// TestPoliciesProduceFeasibleSchedules runs every policy end to end and
+// validates the transcript against the original instance.
+func TestPoliciesProduceFeasibleSchedules(t *testing.T) {
+	inst := onlineInstance(t, 3, 1.0, 6)
+	for _, p := range policies() {
+		res, err := Run(inst, p, Config{EpochLength: 2, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := res.Schedule.Validate(inst); err != nil {
+			t.Errorf("%s produced an infeasible schedule: %v", p.Name(), err)
+		}
+		if res.WeightedCCT <= 0 {
+			t.Errorf("%s: weighted CCT %v not positive", p.Name(), res.WeightedCCT)
+		}
+		for i, sl := range res.Slowdown {
+			if sl < 1-1e-6 {
+				t.Errorf("%s: coflow %d slowdown %v < 1 (faster than its isolated bottleneck)", p.Name(), i, sl)
+			}
+		}
+	}
+}
+
+// TestDeterminism: same seed and config imply an identical weighted CCT, for
+// every policy — including the pipelined LP, whose applied decisions depend
+// only on epoch indices, never on solver wall-clock speed.
+func TestDeterminism(t *testing.T) {
+	for _, p := range policies() {
+		var first float64
+		for run := 0; run < 3; run++ {
+			inst := onlineInstance(t, 11, 1.5, 6)
+			res, err := Run(inst, p, Config{EpochLength: 1.5, Seed: 9, Workers: 2})
+			if err != nil {
+				t.Fatalf("%s run %d: %v", p.Name(), run, err)
+			}
+			if run == 0 {
+				first = res.WeightedCCT
+			} else if res.WeightedCCT != first {
+				t.Errorf("%s: run %d weighted CCT %v != first run %v", p.Name(), run, res.WeightedCCT, first)
+			}
+		}
+	}
+}
+
+// TestConservation: across however many epoch boundaries and preemptions,
+// every flow's transmitted volume equals its size at completion.
+func TestConservation(t *testing.T) {
+	inst := onlineInstance(t, 17, 2.0, 8)
+	for _, p := range policies() {
+		res, err := Run(inst, p, Config{EpochLength: 0.75, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for _, ref := range inst.FlowRefs() {
+			size := inst.Flow(ref).Size
+			delivered := res.Schedule.Get(ref).Delivered()
+			if math.Abs(delivered-size) > 1e-6*size {
+				t.Errorf("%s: flow %s delivered %v of %v across epochs", p.Name(), ref, delivered, size)
+			}
+		}
+	}
+}
+
+// slowAsyncPolicy wraps FIFOOnline with an artificial solve delay, to make
+// the solve/simulate overlap unambiguous on any machine.
+type slowAsyncPolicy struct {
+	delay time.Duration
+}
+
+func (slowAsyncPolicy) Name() string { return "SlowAsync" }
+func (slowAsyncPolicy) Async() bool  { return true }
+func (p slowAsyncPolicy) Decide(snap *Snapshot) ([]coflow.FlowRef, error) {
+	time.Sleep(p.delay)
+	return FIFOOnline{}.Decide(snap)
+}
+
+// TestPipelineOverlap: with an async policy, the solve submitted at epoch k
+// runs on the worker pool while epoch k simulates, and the order applied in
+// epoch k+1 comes from the snapshot at epoch k (one-epoch staleness).
+func TestPipelineOverlap(t *testing.T) {
+	inst := onlineInstance(t, 23, 1.0, 6)
+	res, err := Run(inst, slowAsyncPolicy{delay: 10 * time.Millisecond}, Config{EpochLength: 2, Workers: 2})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.TotalSolveOverlap() <= 0 {
+		t.Errorf("no solve ran concurrently with simulation (total overlap %v)", res.TotalSolveOverlap())
+	}
+	// Staleness accounting: after the cold start, applied decisions come
+	// from the previous epoch's snapshot.
+	lagged := 0
+	for _, e := range res.Epochs {
+		if e.SnapshotEpoch >= 0 && e.SnapshotEpoch == e.Epoch-1 {
+			lagged++
+		}
+	}
+	if lagged == 0 {
+		t.Errorf("no epoch applied a pipelined (previous-snapshot) decision; epochs: %+v", res.Epochs)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Errorf("pipelined schedule infeasible: %v", err)
+	}
+}
+
+// TestLPEpochPipelines: the real LP policy reports pipelined decisions and
+// solve latencies.
+func TestLPEpochPipelines(t *testing.T) {
+	inst := onlineInstance(t, 29, 1.5, 5)
+	res, err := Run(inst, LPEpoch{}, Config{EpochLength: 2, Workers: 2})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lats := res.SolveLatencies()
+	if len(lats) == 0 {
+		t.Fatalf("LP run recorded no solve latencies")
+	}
+	lagged := false
+	for _, e := range res.Epochs {
+		if e.SnapshotEpoch >= 0 && e.SnapshotEpoch < e.Epoch {
+			lagged = true
+		}
+	}
+	if !lagged {
+		t.Errorf("LPEpoch never applied a pipelined decision (all epochs synchronous)")
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Errorf("LP schedule infeasible: %v", err)
+	}
+}
+
+// TestSnapshotCausality: a policy must never see a coflow before it arrives.
+type snoopPolicy struct {
+	t       *testing.T
+	arrival []float64
+}
+
+func (snoopPolicy) Name() string { return "Snoop" }
+func (p snoopPolicy) Decide(snap *Snapshot) ([]coflow.FlowRef, error) {
+	for _, cf := range snap.Coflows {
+		if p.arrival[cf.Index] > snap.Now+1e-12 {
+			p.t.Errorf("policy saw coflow %d (arrival %v) at time %v", cf.Index, p.arrival[cf.Index], snap.Now)
+		}
+		for _, f := range cf.Flows {
+			if f.Remaining < -1e-9 || f.Remaining > f.Size+1e-9 {
+				p.t.Errorf("coflow %d flow %s: remaining %v outside [0,%v]", cf.Index, f.Ref, f.Remaining, f.Size)
+			}
+		}
+	}
+	return FIFOOnline{}.Decide(snap)
+}
+
+func TestSnapshotCausality(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	inst, arrivals, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+		Config: workload.Config{NumCoflows: 8, Width: 2, MeanSize: 4},
+		Rate:   1.0,
+	}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := Run(inst, snoopPolicy{t: t, arrival: arrivals}, Config{EpochLength: 1}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestResidualInstance checks the LP policy's snapshot-to-instance
+// conversion: sizes are residuals, releases are shifted, refs map back.
+func TestResidualInstance(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	hosts := g.Hosts()
+	path := g.ShortestPath(hosts[0], hosts[1])
+	snap := &Snapshot{
+		Now:     10,
+		Network: g,
+		Coflows: []ResidualCoflow{
+			{Index: 2, Name: "a", Weight: 2, Arrival: 4, Flows: []ResidualFlow{
+				{Ref: coflow.FlowRef{Coflow: 2, Index: 0}, Source: hosts[0], Dest: hosts[1], Path: path, Release: 4, Size: 8, Remaining: 3},
+				{Ref: coflow.FlowRef{Coflow: 2, Index: 1}, Source: hosts[0], Dest: hosts[1], Path: path, Release: 12, Size: 5, Remaining: 5},
+				{Ref: coflow.FlowRef{Coflow: 2, Index: 2}, Source: hosts[0], Dest: hosts[1], Path: path, Release: 4, Size: 2, Remaining: 0},
+			}},
+		},
+	}
+	rinst, backrefs := residualInstance(snap)
+	if rinst == nil {
+		t.Fatalf("residual instance is nil")
+	}
+	if len(rinst.Coflows) != 1 || len(rinst.Coflows[0].Flows) != 2 {
+		t.Fatalf("residual instance has wrong shape: %+v", rinst.Coflows)
+	}
+	f0 := rinst.Coflows[0].Flows[0]
+	if f0.Size != 3 || f0.Release != 0 {
+		t.Errorf("flow 0: size %v release %v, want 3 and 0", f0.Size, f0.Release)
+	}
+	f1 := rinst.Coflows[0].Flows[1]
+	if f1.Size != 5 || f1.Release != 2 {
+		t.Errorf("flow 1: size %v release %v, want 5 and 2", f1.Size, f1.Release)
+	}
+	if got := backrefs[coflow.FlowRef{Coflow: 0, Index: 0}]; got != (coflow.FlowRef{Coflow: 2, Index: 0}) {
+		t.Errorf("backref of flow 0: %v", got)
+	}
+	if got := backrefs[coflow.FlowRef{Coflow: 0, Index: 1}]; got != (coflow.FlowRef{Coflow: 2, Index: 1}) {
+		t.Errorf("backref of flow 1: %v", got)
+	}
+}
+
+// TestSEBFAndLPBeatFIFO: at moderate load, reordering policies beat strict
+// arrival order on weighted CCT (averaged over a few instances).
+func TestSEBFAndLPBeatFIFO(t *testing.T) {
+	cfg := Config{EpochLength: 2, Seed: 1}
+	var fifo, sebf, lp float64
+	for seed := int64(0); seed < 3; seed++ {
+		inst := onlineInstance(t, 100+seed, 2.0, 8)
+		for _, pr := range []struct {
+			p   Policy
+			sum *float64
+		}{{FIFOOnline{}, &fifo}, {SEBFOnline{}, &sebf}, {LPEpoch{}, &lp}} {
+			res, err := Run(inst, pr.p, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", pr.p.Name(), err)
+			}
+			*pr.sum += res.WeightedCCT
+		}
+	}
+	if sebf >= fifo {
+		t.Errorf("SEBFOnline (%v) not better than FIFOOnline (%v)", sebf, fifo)
+	}
+	if lp >= fifo {
+		t.Errorf("LPEpoch (%v) not better than FIFOOnline (%v)", lp, fifo)
+	}
+}
+
+// TestLPEpochSurvivesSolverFailure pins the workload that made the pure-Go
+// simplex fail ("singular basis") on a residual instance mid-stream: the
+// default LPEpoch must degrade to the SEBF order for that epoch and finish,
+// not abort the run.
+func TestLPEpochSurvivesSolverFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second LP solves")
+	}
+	inst := onlineInstance(t, 1, 2.0, 14)
+	res, err := Run(inst, LPEpoch{}, Config{EpochLength: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatalf("LPEpoch aborted on solver failure: %v", err)
+	}
+	if err := res.Schedule.Validate(inst); err != nil {
+		t.Errorf("schedule infeasible: %v", err)
+	}
+}

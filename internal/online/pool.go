@@ -1,0 +1,86 @@
+package online
+
+import (
+	"sync"
+	"time"
+
+	"coflowsched/internal/coflow"
+)
+
+// decision is the outcome of one asynchronous Decide call, with the
+// wall-clock bounds of the solve for latency accounting and the overlap
+// test.
+type decision struct {
+	order []coflow.FlowRef
+	err   error
+	// snapEpoch is the epoch of the snapshot the decision was computed from.
+	snapEpoch int
+	// submitted..end is the solve's in-flight window (enqueue to finish);
+	// start..end is the execution alone.
+	submitted time.Time
+	start     time.Time
+	end       time.Time
+	// replayed marks a cold-start decision being reused for the following
+	// epoch: its latency was already accounted for when it ran
+	// synchronously, so the replay must not count it again.
+	replayed bool
+}
+
+// Pool is a fixed-size worker pool for asynchronous policy solves. Each Run
+// keeps at most one solve in flight, so a private pool only ever uses one
+// worker; the point of a shared Pool (Config.Pool) is to bound total solver
+// parallelism when many runs coexist in one process, as OnlineSweep does.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewPool starts n workers (minimum 1). Callers owning a Pool must Close it.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{jobs: make(chan func())}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit schedules a Decide call against snap and returns a channel that
+// will receive exactly one decision.
+func (p *Pool) submit(policy Policy, snap *Snapshot) <-chan decision {
+	out := make(chan decision, 1)
+	submitted := time.Now()
+	p.jobs <- func() {
+		d := decision{snapEpoch: snap.Epoch, submitted: submitted, start: time.Now()}
+		d.order, d.err = policy.Decide(snap)
+		d.end = time.Now()
+		out <- d
+	}
+	return out
+}
+
+// resolved wraps an already-computed decision as a pending channel, letting
+// the engine reuse a synchronous cold-start solve as the next epoch's
+// pipelined decision instead of re-solving the same snapshot.
+func resolved(d decision) <-chan decision {
+	d.replayed = true
+	out := make(chan decision, 1)
+	out <- d
+	return out
+}
+
+// Close shuts the pool down after all submitted jobs finish. Safe to call
+// more than once.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

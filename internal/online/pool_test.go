@@ -1,0 +1,63 @@
+package online
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coflowsched/internal/coflow"
+)
+
+// barrierPolicy's Decide blocks until `need` Decide calls are running
+// simultaneously, proving the pool really executes jobs concurrently.
+type barrierPolicy struct {
+	need    int32
+	running *int32
+	release chan struct{}
+}
+
+func (barrierPolicy) Name() string { return "Barrier" }
+func (p barrierPolicy) Decide(*Snapshot) ([]coflow.FlowRef, error) {
+	if atomic.AddInt32(p.running, 1) == p.need {
+		close(p.release)
+	}
+	<-p.release
+	return nil, nil
+}
+
+func TestPoolRunsJobsConcurrently(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var running int32
+	policy := barrierPolicy{need: 2, running: &running, release: make(chan struct{})}
+	a := p.submit(policy, &Snapshot{Epoch: 0})
+	b := p.submit(policy, &Snapshot{Epoch: 1})
+	for i, ch := range []<-chan decision{a, b} {
+		select {
+		case d := <-ch:
+			if d.err != nil {
+				t.Fatalf("job %d: %v", i, d.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("job %d deadlocked: pool did not run 2 jobs concurrently", i)
+		}
+	}
+}
+
+func TestPoolRecordsTimingsAndEpoch(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	d := <-p.submit(slowAsyncPolicy{delay: 5 * time.Millisecond}, &Snapshot{Epoch: 7})
+	if d.err != nil {
+		t.Fatalf("decide: %v", d.err)
+	}
+	if d.snapEpoch != 7 {
+		t.Errorf("snapEpoch = %d, want 7", d.snapEpoch)
+	}
+	if d.end.Sub(d.start) < 5*time.Millisecond {
+		t.Errorf("recorded solve duration %v shorter than the sleep", d.end.Sub(d.start))
+	}
+	if p.Close(); true { // double close is safe
+		p.Close()
+	}
+}

@@ -15,10 +15,18 @@
 //   - FairShare: max-min fair sharing across all active flows (progressive
 //     filling), modelling the "every flow gets its fair share" comparator of
 //     Figure 1 (s1).
+//
+// Two entry points expose the simulator:
+//
+//   - Run simulates an instance to completion in one call (the offline mode
+//     used by the paper's experiments).
+//   - Simulator is the resumable stepping API used by the online scheduler
+//     (internal/online): New builds the simulator, RunUntil advances it to a
+//     time boundary, SetOrder re-prioritizes the remaining work between
+//     steps, and Residuals reports per-flow transmitted/remaining volumes.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -43,8 +51,10 @@ type Config struct {
 	// Paths gives the route of every flow. Flows absent from the map fall
 	// back to the instance's pre-assigned path.
 	Paths map[coflow.FlowRef]graph.Path
-	// Order is the priority order used by the Priority policy; it must
-	// contain every flow exactly once. Ignored by FairShare.
+	// Order is the priority order used by the Priority policy. Run requires
+	// it to contain every flow exactly once; New accepts a partial order
+	// (flows absent from it rank last, in reference order) so an online
+	// caller can prioritize only the flows that have arrived.
 	Order []coflow.FlowRef
 	// Policy selects the bandwidth-assignment policy.
 	Policy Policy
@@ -53,6 +63,9 @@ type Config struct {
 // completionTol treats a flow as finished once its remaining volume drops
 // below this fraction of its size (guards against FP drift in long runs).
 const completionTol = 1e-9
+
+// timeTol absorbs floating-point noise when comparing event times.
+const timeTol = 1e-15
 
 // flowState is the simulator's working record for one flow.
 type flowState struct {
@@ -66,40 +79,89 @@ type flowState struct {
 	done      bool
 }
 
-// eventQueue orders pending event times.
-type eventQueue []float64
+// eventHeap is a hand-rolled binary min-heap of pending event times. Keeping
+// it typed (no container/heap) avoids boxing every float64 through `any` on
+// the simulator's hottest queue.
+type eventHeap struct{ ts []float64 }
 
-func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i] < q[j] }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(float64)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	v := old[n-1]
-	*q = old[:n-1]
-	return v
+func (h *eventHeap) Len() int      { return len(h.ts) }
+func (h *eventHeap) Peek() float64 { return h.ts[0] }
+
+func (h *eventHeap) Push(t float64) {
+	h.ts = append(h.ts, t)
+	i := len(h.ts) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.ts[p] <= h.ts[i] {
+			break
+		}
+		h.ts[p], h.ts[i] = h.ts[i], h.ts[p]
+		i = p
+	}
 }
 
-// Run simulates the instance under the given configuration and returns the
-// resulting circuit schedule (which callers can Validate and score).
-func Run(inst *coflow.Instance, cfg Config) (*coflow.CircuitSchedule, error) {
-	refs := inst.FlowRefs()
-	states := make(map[coflow.FlowRef]*flowState, len(refs))
-
-	rank := make(map[coflow.FlowRef]int, len(refs))
-	if cfg.Policy == Priority {
-		if len(cfg.Order) != len(refs) {
-			return nil, fmt.Errorf("sim: priority order has %d flows, instance has %d", len(cfg.Order), len(refs))
+func (h *eventHeap) Pop() float64 {
+	top := h.ts[0]
+	n := len(h.ts) - 1
+	h.ts[0] = h.ts[n]
+	h.ts = h.ts[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.ts[l] < h.ts[small] {
+			small = l
 		}
-		for i, r := range cfg.Order {
-			if _, dup := rank[r]; dup {
-				return nil, fmt.Errorf("sim: flow %s appears twice in the priority order", r)
-			}
-			rank[r] = i
+		if r < n && h.ts[r] < h.ts[small] {
+			small = r
 		}
+		if small == i {
+			break
+		}
+		h.ts[i], h.ts[small] = h.ts[small], h.ts[i]
+		i = small
 	}
+	return top
+}
 
+// FlowStatus is the residual state of one flow, as reported by
+// Simulator.Residuals.
+type FlowStatus struct {
+	Ref       coflow.FlowRef
+	Path      graph.Path
+	Release   float64
+	Size      float64
+	Remaining float64
+	Done      bool
+}
+
+// Simulator is the resumable form of the flow-level simulator. Unlike Run it
+// advances in steps: RunUntil(t) simulates up to time t and stops, after
+// which the caller may inspect Residuals and install a new priority order
+// with SetOrder before resuming. The online scheduler uses exactly this
+// loop: one RunUntil per epoch, one SetOrder per policy decision.
+type Simulator struct {
+	inst   *coflow.Instance
+	policy Policy
+	states map[coflow.FlowRef]*flowState
+	eq     eventHeap
+	now    float64
+	guard  int
+	budget int
+}
+
+// New builds a resumable simulator for the instance. The configured order may
+// be partial: flows missing from it are served after every listed flow, tied
+// by flow reference, which models newly arrived work waiting at the lowest
+// priority until the next re-ordering.
+func New(inst *coflow.Instance, cfg Config) (*Simulator, error) {
+	refs := inst.FlowRefs()
+	s := &Simulator{
+		inst:   inst,
+		policy: cfg.Policy,
+		states: make(map[coflow.FlowRef]*flowState, len(refs)),
+		budget: stepBudget(len(refs)),
+	}
 	for _, r := range refs {
 		f := inst.Flow(r)
 		path := f.Path
@@ -112,86 +174,162 @@ func Run(inst *coflow.Instance, cfg Config) (*coflow.CircuitSchedule, error) {
 		if err := path.Validate(inst.Network, f.Source, f.Dest); err != nil {
 			return nil, fmt.Errorf("sim: flow %s: %v", r, err)
 		}
-		rk, ok := rank[r]
-		if !ok {
-			if cfg.Policy == Priority {
-				return nil, fmt.Errorf("sim: flow %s missing from priority order", r)
-			}
-			rk = 0
-		}
-		states[r] = &flowState{
+		s.states[r] = &flowState{
 			ref:       r,
 			path:      path,
 			release:   f.Release,
 			remaining: f.Size,
 			size:      f.Size,
-			rank:      rk,
 			schedule:  &coflow.FlowSchedule{Path: path},
 		}
 	}
+	if err := s.SetOrder(cfg.Order); err != nil {
+		return nil, err
+	}
 
 	// Seed the event queue with distinct release times.
-	eq := &eventQueue{}
 	seen := map[float64]bool{}
-	for _, st := range states {
+	for _, st := range s.states {
 		if !seen[st.release] {
 			seen[st.release] = true
-			heap.Push(eq, st.release)
+			s.eq.Push(st.release)
 		}
 	}
-	if eq.Len() == 0 {
-		return coflow.NewCircuitSchedule(), nil
+	if s.eq.Len() > 0 {
+		s.now = s.eq.Peek()
 	}
+	return s, nil
+}
 
-	now := heap.Pop(eq).(float64)
-	guard := 0
-	maxEvents := 10*len(refs) + 100
+// stepBudget is the per-step event allowance: generous enough for any
+// legitimate simulation, small enough to catch starvation loops.
+func stepBudget(numFlows int) int { return 100*numFlows + 1000 }
 
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Done reports whether every flow has completed.
+func (s *Simulator) Done() bool { return allDone(s.states) }
+
+// SetOrder installs a new priority order, effective from the next RunUntil.
+// The order may be partial (missing flows rank last, in reference order) but
+// must not contain duplicates or unknown flows. It is ignored under the
+// FairShare policy.
+func (s *Simulator) SetOrder(order []coflow.FlowRef) error {
+	rank := make(map[coflow.FlowRef]int, len(order))
+	for i, r := range order {
+		if _, dup := rank[r]; dup {
+			return fmt.Errorf("sim: flow %s appears twice in the priority order", r)
+		}
+		if _, ok := s.states[r]; !ok {
+			return fmt.Errorf("sim: priority order names unknown flow %s", r)
+		}
+		rank[r] = i
+	}
+	for r, st := range s.states {
+		if rk, ok := rank[r]; ok {
+			st.rank = rk
+		} else {
+			st.rank = len(order) // after every listed flow; ties by ref
+		}
+	}
+	return nil
+}
+
+// Residuals reports the per-flow residual state, sorted by flow reference.
+func (s *Simulator) Residuals() []FlowStatus {
+	out := make([]FlowStatus, 0, len(s.states))
+	for _, st := range s.states {
+		out = append(out, FlowStatus{
+			Ref:       st.ref,
+			Path:      st.path,
+			Release:   st.release,
+			Size:      st.size,
+			Remaining: st.remaining,
+			Done:      st.done,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ref.Coflow != out[j].Ref.Coflow {
+			return out[i].Ref.Coflow < out[j].Ref.Coflow
+		}
+		return out[i].Ref.Index < out[j].Ref.Index
+	})
+	return out
+}
+
+// RunUntil advances the simulation to time `until` (or to completion,
+// whichever is earlier) under the current order. Passing +Inf runs to
+// completion. It is legal to call RunUntil repeatedly with increasing
+// boundaries; each call refreshes the event budget.
+func (s *Simulator) RunUntil(until float64) error {
+	s.budget += stepBudget(len(s.states))
 	for {
-		guard++
-		if guard > maxEvents*10 {
-			return nil, fmt.Errorf("sim: event budget exhausted (likely a starving flow)")
+		if s.Done() {
+			return nil
 		}
-		active := activeFlows(states, now)
+		if s.now >= until-timeTol {
+			return nil
+		}
+		s.guard++
+		if s.guard > s.budget {
+			return fmt.Errorf("sim: event budget exhausted (likely a starving flow)")
+		}
+
+		active := activeFlows(s.states, s.now)
 		if len(active) == 0 {
-			if eq.Len() == 0 {
-				break
+			// Idle until the next release or the step boundary.
+			if s.eq.Len() == 0 {
+				// Nothing pending and not done — impossible (every unfinished
+				// flow has a seeded release event), but don't spin.
+				s.now = until
+				return nil
 			}
-			now = heap.Pop(eq).(float64)
+			t := s.eq.Peek()
+			if t > until {
+				if !math.IsInf(until, 1) {
+					s.now = until
+				}
+				return nil
+			}
+			s.now = s.eq.Pop()
 			continue
 		}
 
-		rates := allocate(inst.Network, active, cfg.Policy)
+		rates := allocate(s.inst.Network, active, s.policy)
 
-		// Find the next event: earliest completion under current rates or the
-		// next release, whichever is first.
-		next := math.Inf(1)
-		if eq.Len() > 0 {
-			next = (*eq)[0]
+		// Find the next event: earliest completion under current rates, the
+		// next release, or the step boundary — whichever is first.
+		next := until
+		if s.eq.Len() > 0 && s.eq.Peek() < next {
+			next = s.eq.Peek()
 		}
+		anyRate := false
 		for i, st := range active {
 			if rates[i] > 0 {
-				t := now + st.remaining/rates[i]
-				if t < next {
+				anyRate = true
+				if t := s.now + st.remaining/rates[i]; t < next {
 					next = t
 				}
 			}
 		}
-		if math.IsInf(next, 1) {
-			// No active flow can make progress and nothing else is pending;
-			// cannot happen with the greedy allocators (the top-priority flow
-			// always gets the bottleneck capacity), but guard anyway.
-			return nil, fmt.Errorf("sim: no progress possible at time %v", now)
+		if !anyRate && s.eq.Len() == 0 {
+			// No active flow can make progress and no release is pending, so
+			// the state is frozen forever; cannot happen with the greedy
+			// allocators on positive-capacity networks (the top-priority flow
+			// always gets the bottleneck capacity), but detect it explicitly
+			// rather than spinning to the step boundary.
+			return fmt.Errorf("sim: no progress possible at time %v", s.now)
 		}
 		// Advance time, recording a segment per flow that transmitted.
-		dt := next - now
+		dt := next - s.now
 		if dt > 0 {
 			for i, st := range active {
 				if rates[i] <= 0 {
 					continue
 				}
 				st.schedule.Segments = append(st.schedule.Segments, coflow.BandwidthSegment{
-					Start: now, End: next, Rate: rates[i],
+					Start: s.now, End: next, Rate: rates[i],
 				})
 				st.remaining -= rates[i] * dt
 				if st.remaining <= completionTol*st.size {
@@ -200,23 +338,49 @@ func Run(inst *coflow.Instance, cfg Config) (*coflow.CircuitSchedule, error) {
 				}
 			}
 		}
-		// Drop the release event we just consumed (if that's what 'next' was).
-		for eq.Len() > 0 && (*eq)[0] <= next+1e-15 {
-			heap.Pop(eq)
+		// Drop the release events we just passed (if 'next' consumed any).
+		for s.eq.Len() > 0 && s.eq.Peek() <= next+timeTol {
+			s.eq.Pop()
 		}
-		now = next
-
-		if allDone(states) && eq.Len() == 0 {
-			break
-		}
+		s.now = next
 	}
+}
 
+// Schedule assembles the circuit schedule accumulated so far. The returned
+// schedule is an independent snapshot: calling RunUntil afterwards does not
+// mutate it, so mid-run captures stay valid for later comparison.
+func (s *Simulator) Schedule() *coflow.CircuitSchedule {
 	cs := coflow.NewCircuitSchedule()
-	for r, st := range states {
-		mergeSegments(st.schedule)
-		cs.Set(r, st.schedule)
+	for r, st := range s.states {
+		fs := &coflow.FlowSchedule{
+			Path:     st.path,
+			Segments: append([]coflow.BandwidthSegment(nil), st.schedule.Segments...),
+		}
+		mergeSegments(fs)
+		cs.Set(r, fs)
 	}
-	return cs, nil
+	return cs
+}
+
+// Run simulates the instance to completion under the given configuration and
+// returns the resulting circuit schedule (which callers can Validate and
+// score). Unlike New, Run requires a complete priority order when the
+// Priority policy is selected, matching the offline setting where every flow
+// is known up front.
+func Run(inst *coflow.Instance, cfg Config) (*coflow.CircuitSchedule, error) {
+	if cfg.Policy == Priority {
+		if len(cfg.Order) != inst.NumFlows() {
+			return nil, fmt.Errorf("sim: priority order has %d flows, instance has %d", len(cfg.Order), inst.NumFlows())
+		}
+	}
+	s, err := New(inst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RunUntil(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return s.Schedule(), nil
 }
 
 // activeFlows returns released, unfinished flows sorted by priority rank
@@ -224,7 +388,7 @@ func Run(inst *coflow.Instance, cfg Config) (*coflow.CircuitSchedule, error) {
 func activeFlows(states map[coflow.FlowRef]*flowState, now float64) []*flowState {
 	var active []*flowState
 	for _, st := range states {
-		if !st.done && st.release <= now+1e-15 {
+		if !st.done && st.release <= now+timeTol {
 			active = append(active, st)
 		}
 	}

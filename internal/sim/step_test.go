@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// stepInstance builds a small random fat-tree instance with staggered
+// releases, shortest paths assigned.
+func stepInstance(t *testing.T, seed int64) *coflow.Instance {
+	t.Helper()
+	g := graph.FatTree(4, 1)
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.GenerateWithPaths(g, workload.Config{
+		NumCoflows: 4, Width: 3, MeanSize: 4, MeanRelease: 3,
+	}, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return inst
+}
+
+// TestRunUntilEquivalence checks that advancing the simulator in many small
+// steps produces exactly the schedule a single Run call produces, as long as
+// the order is not changed between steps.
+func TestRunUntilEquivalence(t *testing.T) {
+	inst := stepInstance(t, 7)
+	order := inst.FlowRefs()
+
+	want, err := Run(inst, Config{Order: order, Policy: Priority})
+	if err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+
+	s, err := New(inst, Config{Order: order, Policy: Priority})
+	if err != nil {
+		t.Fatalf("new simulator: %v", err)
+	}
+	horizon := inst.TimeHorizon()
+	step := horizon / 37 // deliberately not aligned with any event
+	for until := step; !s.Done(); until += step {
+		if err := s.RunUntil(until); err != nil {
+			t.Fatalf("run until %v: %v", until, err)
+		}
+		if until > 10*horizon {
+			t.Fatalf("simulation did not finish within 10x the horizon")
+		}
+	}
+	got := s.Schedule()
+
+	for _, ref := range inst.FlowRefs() {
+		w, g := want.Get(ref).CompletionTime(), got.Get(ref).CompletionTime()
+		if math.Abs(w-g) > 1e-9 {
+			t.Errorf("flow %s: stepped completion %v, offline %v", ref, g, w)
+		}
+	}
+	if w, g := want.Objective(inst), got.Objective(inst); math.Abs(w-g) > 1e-6 {
+		t.Errorf("objective: stepped %v, offline %v", g, w)
+	}
+	if err := got.Validate(inst); err != nil {
+		t.Errorf("stepped schedule infeasible: %v", err)
+	}
+}
+
+// TestRunUntilBoundary checks that RunUntil stops exactly at the boundary and
+// neither loses nor double-counts volume across it.
+func TestRunUntilBoundary(t *testing.T) {
+	inst := stepInstance(t, 11)
+	order := inst.FlowRefs()
+	s, err := New(inst, Config{Order: order, Policy: Priority})
+	if err != nil {
+		t.Fatalf("new simulator: %v", err)
+	}
+	boundary := inst.TimeHorizon() / 3
+	if err := s.RunUntil(boundary); err != nil {
+		t.Fatalf("run until: %v", err)
+	}
+	if s.Now() > boundary+1e-12 {
+		t.Fatalf("simulator overshot boundary: now=%v boundary=%v", s.Now(), boundary)
+	}
+	for _, fs := range s.Residuals() {
+		if fs.Remaining < -1e-9 || fs.Remaining > fs.Size+1e-9 {
+			t.Errorf("flow %s: remaining %v outside [0, %v]", fs.Ref, fs.Remaining, fs.Size)
+		}
+	}
+	if err := s.RunUntil(math.Inf(1)); err != nil {
+		t.Fatalf("run to completion: %v", err)
+	}
+	if !s.Done() {
+		t.Fatalf("simulator not done after RunUntil(+Inf)")
+	}
+	// Conservation: every flow delivered exactly its size.
+	cs := s.Schedule()
+	for _, ref := range inst.FlowRefs() {
+		delivered := cs.Get(ref).Delivered()
+		size := inst.Flow(ref).Size
+		if math.Abs(delivered-size) > 1e-6*size {
+			t.Errorf("flow %s delivered %v of %v", ref, delivered, size)
+		}
+	}
+}
+
+// TestSetOrderBetweenSteps re-prioritizes mid-run and checks the result is
+// still a feasible, volume-conserving schedule.
+func TestSetOrderBetweenSteps(t *testing.T) {
+	inst := stepInstance(t, 13)
+	refs := inst.FlowRefs()
+	s, err := New(inst, Config{Order: refs, Policy: Priority})
+	if err != nil {
+		t.Fatalf("new simulator: %v", err)
+	}
+	horizon := inst.TimeHorizon()
+	step := horizon / 8
+	flip := false
+	for until := step; !s.Done(); until += step {
+		// Alternate between forward and reversed order each step.
+		order := append([]coflow.FlowRef(nil), refs...)
+		if flip {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		flip = !flip
+		if err := s.SetOrder(order); err != nil {
+			t.Fatalf("set order: %v", err)
+		}
+		if err := s.RunUntil(until); err != nil {
+			t.Fatalf("run until %v: %v", until, err)
+		}
+		if until > 20*horizon {
+			t.Fatalf("simulation did not finish")
+		}
+	}
+	cs := s.Schedule()
+	if err := cs.Validate(inst); err != nil {
+		t.Fatalf("schedule with mid-run re-ordering infeasible: %v", err)
+	}
+}
+
+// TestPartialOrder checks that New accepts a partial priority order and ranks
+// unlisted flows last.
+func TestPartialOrder(t *testing.T) {
+	inst := stepInstance(t, 17)
+	refs := inst.FlowRefs()
+	partial := refs[:len(refs)/2]
+	s, err := New(inst, Config{Order: partial, Policy: Priority})
+	if err != nil {
+		t.Fatalf("new simulator with partial order: %v", err)
+	}
+	if err := s.RunUntil(math.Inf(1)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := s.Schedule().Validate(inst); err != nil {
+		t.Fatalf("schedule from partial order infeasible: %v", err)
+	}
+
+	// Run still insists on a complete order.
+	if _, err := Run(inst, Config{Order: partial, Policy: Priority}); err == nil {
+		t.Fatalf("Run accepted a partial priority order")
+	}
+	// Duplicates are rejected.
+	bad := append([]coflow.FlowRef(nil), refs...)
+	bad[1] = bad[0]
+	if _, err := New(inst, Config{Order: bad, Policy: Priority}); err == nil {
+		t.Fatalf("New accepted a duplicated priority order")
+	}
+}
+
+// TestEventHeap exercises the typed min-heap directly.
+func TestEventHeap(t *testing.T) {
+	var h eventHeap
+	in := []float64{5, 1, 4, 1.5, 9, 0.25, 7}
+	for _, v := range in {
+		h.Push(v)
+	}
+	prev := math.Inf(-1)
+	for h.Len() > 0 {
+		if p := h.Peek(); p != h.ts[0] {
+			t.Fatalf("peek mismatch")
+		}
+		v := h.Pop()
+		if v < prev {
+			t.Fatalf("heap popped %v after %v", v, prev)
+		}
+		prev = v
+	}
+}

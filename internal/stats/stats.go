@@ -47,17 +47,31 @@ func StdErr(xs []float64) float64 {
 }
 
 // Median returns the median of xs (0 for an empty slice).
-func Median(xs []float64) float64 {
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between order statistics (0 for an empty slice). Used for
+// the online scheduler's slowdown and solve-latency tails.
+func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
+	if p <= 0 {
+		return s[0]
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
 }
 
 // Ratio returns a/b, or 0 when b is 0.

@@ -90,11 +90,11 @@ type arrivalItem struct {
 
 type arrivalPQ []arrivalItem
 
-func (q arrivalPQ) Len() int            { return len(q) }
-func (q arrivalPQ) Less(i, j int) bool  { return q[i].time < q[j].time }
-func (q arrivalPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *arrivalPQ) Push(x interface{}) { *q = append(*q, x.(arrivalItem)) }
-func (q *arrivalPQ) Pop() interface{} {
+func (q arrivalPQ) Len() int           { return len(q) }
+func (q arrivalPQ) Less(i, j int) bool { return q[i].time < q[j].time }
+func (q arrivalPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *arrivalPQ) Push(x any)        { *q = append(*q, x.(arrivalItem)) }
+func (q *arrivalPQ) Pop() any {
 	old := *q
 	n := len(old)
 	it := old[n-1]

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+)
+
+// ArrivalConfig describes an online workload: the same per-coflow shape as
+// Config, but coflows arrive over time following a Poisson process instead
+// of all being (approximately) present at time zero. This is the input of
+// the online scheduler (internal/online), which must make decisions without
+// seeing future arrivals.
+type ArrivalConfig struct {
+	// Config gives the per-coflow shape (width, sizes, weights). Its
+	// MeanRelease field is reinterpreted as intra-coflow jitter: each flow's
+	// release is the coflow's arrival time plus a Poisson(MeanRelease) offset
+	// (zero means all flows of a coflow are released together on arrival).
+	Config
+	// Rate is the mean number of coflow arrivals per unit of simulated time
+	// (λ of the Poisson process). Inter-arrival times are exponential with
+	// mean 1/Rate. Must be positive.
+	Rate float64
+}
+
+// GenerateArrivals builds a random online instance: cfg.NumCoflows coflows
+// whose arrival times form a Poisson process of rate cfg.Rate starting at
+// time zero. Every flow of a coflow is released at the coflow's arrival time
+// (plus optional jitter, see ArrivalConfig). The second return value lists
+// each coflow's arrival time, index-aligned with Instance.Coflows.
+func GenerateArrivals(g *graph.Graph, cfg ArrivalConfig, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+	if cfg.Rate <= 0 {
+		return nil, nil, fmt.Errorf("workload: arrival rate must be positive, got %v", cfg.Rate)
+	}
+	inst, err := Generate(g, cfg.Config, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Overwrite the per-flow releases drawn by Generate with the arrival
+	// process: arrival_i = arrival_{i-1} + Exp(1/Rate).
+	arrivals := make([]float64, len(inst.Coflows))
+	t := 0.0
+	for i := range inst.Coflows {
+		t += rng.ExpFloat64() / cfg.Rate
+		arrivals[i] = t
+		for j := range inst.Coflows[i].Flows {
+			release := t
+			if cfg.MeanRelease > 0 {
+				release += float64(Poisson(rng, cfg.MeanRelease))
+			}
+			inst.Coflows[i].Flows[j].Release = release
+		}
+	}
+	if err := inst.Validate(cfg.PacketModel); err != nil {
+		return nil, nil, fmt.Errorf("workload: generated invalid online instance: %w", err)
+	}
+	return inst, arrivals, nil
+}
+
+// Arrivals recovers per-coflow arrival times from an instance: the earliest
+// release among each coflow's flows. For instances produced by
+// GenerateArrivals without jitter this is exactly the arrival process.
+func Arrivals(inst *coflow.Instance) []float64 {
+	out := make([]float64, len(inst.Coflows))
+	for i, cf := range inst.Coflows {
+		min := cf.Flows[0].Release
+		for _, f := range cf.Flows[1:] {
+			if f.Release < min {
+				min = f.Release
+			}
+		}
+		out[i] = min
+	}
+	return out
+}

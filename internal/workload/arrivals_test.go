@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/graph"
+)
+
+func TestGenerateArrivals(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	cfg := ArrivalConfig{
+		Config: Config{NumCoflows: 200, Width: 2, MeanSize: 4},
+		Rate:   2.0,
+	}
+	rng := rand.New(rand.NewSource(42))
+	inst, arrivals, err := GenerateArrivals(g, cfg, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(arrivals) != len(inst.Coflows) {
+		t.Fatalf("got %d arrival times for %d coflows", len(arrivals), len(inst.Coflows))
+	}
+	prev := 0.0
+	for i, a := range arrivals {
+		if a <= prev {
+			t.Fatalf("arrival %d = %v not strictly after %v", i, a, prev)
+		}
+		prev = a
+		for j, f := range inst.Coflows[i].Flows {
+			if f.Release != a {
+				t.Fatalf("coflow %d flow %d released at %v, arrival %v (no jitter configured)", i, j, f.Release, a)
+			}
+		}
+	}
+	// Mean inter-arrival should be roughly 1/Rate over 200 samples.
+	mean := arrivals[len(arrivals)-1] / float64(len(arrivals))
+	if mean < 0.25 || mean > 1.0 {
+		t.Errorf("mean inter-arrival %v implausible for rate 2.0", mean)
+	}
+	// Arrivals() recovers the process.
+	rec := Arrivals(inst)
+	for i := range rec {
+		if math.Abs(rec[i]-arrivals[i]) > 1e-12 {
+			t.Fatalf("Arrivals()[%d] = %v, want %v", i, rec[i], arrivals[i])
+		}
+	}
+}
+
+func TestGenerateArrivalsDeterminism(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	cfg := ArrivalConfig{Config: Config{NumCoflows: 20, Width: 3, MeanSize: 4, MeanRelease: 1}, Rate: 1.5}
+	a, arrA, err := GenerateArrivals(g, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, arrB, err := GenerateArrivals(g, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for i := range arrA {
+		if arrA[i] != arrB[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %v vs %v", i, arrA[i], arrB[i])
+		}
+	}
+	for i := range a.Coflows {
+		for j := range a.Coflows[i].Flows {
+			fa, fb := a.Coflows[i].Flows[j], b.Coflows[i].Flows[j]
+			if fa.Source != fb.Source || fa.Dest != fb.Dest || fa.Size != fb.Size || fa.Release != fb.Release {
+				t.Fatalf("coflow %d flow %d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateArrivalsRejectsBadRate(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	if _, _, err := GenerateArrivals(g, ArrivalConfig{Config: Config{NumCoflows: 2}}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatalf("zero rate accepted")
+	}
+}
