@@ -8,10 +8,15 @@
 //
 // Output is plain text: one absolute-value table and one ratio-to-baseline
 // table per figure (the two panels of the paper's Figures 3 and 4), plus the
-// average-improvement summary the paper quotes in §4.3.
+// average-improvement summary the paper quotes in §4.3. With -json, each
+// experiment instead emits one machine-readable JSON object (one per line
+// under -experiment all) carrying the experiment name, its configuration and
+// the full result — the format benchmark trajectories are recorded in (see
+// EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +39,7 @@ func main() {
 		width      = flag.Int("width", 0, "fixed coflow width for fig4 (override)")
 		candidates = flag.Int("paths", 0, "candidate paths per flow for the LP (override)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables for fig3/fig4")
+		jsonOut    = flag.Bool("json", false, "emit one JSON result object per experiment")
 	)
 	flag.Parse()
 
@@ -71,23 +77,45 @@ func main() {
 		case "fig1":
 			res, err := experiments.Figure1()
 			exitOn(err)
+			if *jsonOut {
+				emitJSON(name, nil, res)
+				return
+			}
 			fmt.Println(res)
 		case "table1":
-			res, err := experiments.Table1(experiments.DefaultTable1Config())
+			tcfg := experiments.DefaultTable1Config()
+			res, err := experiments.Table1(tcfg)
 			exitOn(err)
+			if *jsonOut {
+				emitJSON(name, tcfg, res)
+				return
+			}
 			fmt.Println("Table 1: approximation guarantees and measured ratios (ALG / certified lower bound)")
 			fmt.Println(res)
 		case "fig3":
 			res, err := experiments.Figure3(cfg)
 			exitOn(err)
+			if *jsonOut {
+				emitJSON(name, cfg, res)
+				return
+			}
 			printFigure(res, *csv)
 		case "fig4":
 			res, err := experiments.Figure4(cfg)
 			exitOn(err)
+			if *jsonOut {
+				emitJSON(name, cfg, res)
+				return
+			}
 			printFigure(res, *csv)
 		case "ablation":
-			res, err := experiments.Ablation(experiments.DefaultAblationConfig())
+			acfg := experiments.DefaultAblationConfig()
+			res, err := experiments.Ablation(acfg)
 			exitOn(err)
+			if *jsonOut {
+				emitJSON(name, acfg, res)
+				return
+			}
 			fmt.Println(res)
 		case "online":
 			ocfg := experiments.DefaultOnlineConfig()
@@ -111,10 +139,13 @@ func main() {
 			}
 			res, err := experiments.OnlineSweep(ocfg)
 			exitOn(err)
-			if *csv {
+			switch {
+			case *jsonOut:
+				emitJSON(name, ocfg, res)
+			case *csv:
 				fmt.Print(res.Absolute.CSV())
 				fmt.Print(res.Ratio.CSV())
-			} else {
+			default:
 				fmt.Println(res)
 			}
 		default:
@@ -125,13 +156,30 @@ func main() {
 
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online"} {
-			fmt.Printf("=== %s ===\n", name)
+			if !*jsonOut {
+				fmt.Printf("=== %s ===\n", name)
+			}
 			run(name)
-			fmt.Println()
+			if !*jsonOut {
+				fmt.Println()
+			}
 		}
 		return
 	}
 	run(*experiment)
+}
+
+// emitJSON writes one machine-readable result object: the experiment name,
+// the configuration it ran with (null for parameterless experiments) and
+// the full result. One object per line, so -experiment all yields JSON
+// Lines that trajectory tooling can append to BENCH_*.json files.
+func emitJSON(name string, config, result any) {
+	enc := json.NewEncoder(os.Stdout)
+	exitOn(enc.Encode(map[string]any{
+		"experiment": name,
+		"config":     config,
+		"result":     result,
+	}))
 }
 
 func printFigure(res *experiments.FigureResult, csv bool) {

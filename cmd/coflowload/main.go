@@ -1,0 +1,85 @@
+// Command coflowload replays a Poisson coflow arrival process against a live
+// coflowd daemon (cmd/coflowd) and reports achieved request throughput plus
+// admit-latency percentiles — the closed-loop load-testing companion to the
+// daemon. The workload comes from workload.GenerateArrivals, remapped onto
+// the daemon's actual topology (fetched from GET /v1/network).
+//
+//	coflowload -target http://localhost:8080 -coflows 200 -rate 100 -wait
+//
+// With -wait the command polls until every admitted coflow completes and
+// reports the daemon's final scheduling statistics. Exit status is non-zero
+// if any request failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"coflowsched/internal/server"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "http://localhost:8080", "coflowd base URL")
+		coflows     = flag.Int("coflows", 100, "number of coflows to replay")
+		width       = flag.Int("width", 3, "flows per coflow")
+		meanSize    = flag.Float64("size", 4, "mean flow size")
+		meanWeight  = flag.Float64("weight", 1, "mean coflow weight")
+		rate        = flag.Float64("rate", 50, "mean coflow arrivals per wall-clock second (Poisson)")
+		concurrency = flag.Int("concurrency", 4, "concurrent admit requests")
+		seed        = flag.Int64("seed", 1, "random seed")
+		wait        = flag.Bool("wait", false, "poll until every admitted coflow completes")
+		waitTimeout = flag.Duration("wait-timeout", 60*time.Second, "completion polling budget with -wait")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	c := server.NewClient(*target)
+	health, err := c.Health()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coflowload: daemon unreachable at %s: %v\n", *target, err)
+		os.Exit(1)
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	logf("coflowload: target %s healthy (policy %s, sim clock %.2f)", *target, health.Policy, health.Now)
+
+	report, err := server.RunLoad(c, server.LoadConfig{
+		Coflows:      *coflows,
+		Width:        *width,
+		MeanSize:     *meanSize,
+		MeanWeight:   *meanWeight,
+		Rate:         *rate,
+		Concurrency:  *concurrency,
+		Seed:         *seed,
+		WaitComplete: *wait,
+		WaitTimeout:  *waitTimeout,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coflowload:", err)
+		if report != nil {
+			fmt.Println(report)
+		}
+		os.Exit(1)
+	}
+	fmt.Println(report)
+
+	if *wait {
+		st, err := c.Stats()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coflowload: fetching final stats:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
+			st.Admitted, st.Completed, st.WeightedCCT, st.WeightedResponse, st.SlowdownP95, st.SolveMsP95)
+	}
+	if report.Failures > 0 {
+		os.Exit(1)
+	}
+}

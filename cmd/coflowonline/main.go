@@ -112,8 +112,11 @@ func report(res *online.Result, rate float64, quiet, csv bool) {
 	for i := range solveMs {
 		solveMs[i] *= 1e3
 	}
-	sp50, sp95, sp99 := stats.Percentile(res.Slowdown, 50), stats.Percentile(res.Slowdown, 95), stats.Percentile(res.Slowdown, 99)
-	lp50, lp95, lp99 := stats.Percentile(solveMs, 50), stats.Percentile(solveMs, 95), stats.Percentile(solveMs, 99)
+	// stats.Percentile is NaN on empty input; report 0 so CSV consumers see
+	// a number.
+	pct := func(xs []float64, p float64) float64 { return stats.PercentileOr(xs, p, 0) }
+	sp50, sp95, sp99 := pct(res.Slowdown, 50), pct(res.Slowdown, 95), pct(res.Slowdown, 99)
+	lp50, lp95, lp99 := pct(solveMs, 50), pct(solveMs, 95), pct(solveMs, 99)
 	overlapMs := res.TotalSolveOverlap().Seconds() * 1e3
 
 	switch {

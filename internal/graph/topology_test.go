@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"testing"
+)
+
+// edgeSet indexes directed (from, to) -> capacity for symmetry checks.
+func edgeSet(g *Graph) map[[2]NodeID]float64 {
+	out := make(map[[2]NodeID]float64, g.NumEdges())
+	for _, e := range g.Edges() {
+		out[[2]NodeID{e.From, e.To}] = e.Capacity
+	}
+	return out
+}
+
+// checkSymmetric asserts every directed edge has a reverse twin with the
+// same capacity — all generated datacenter topologies are bidirectional.
+func checkSymmetric(t *testing.T, g *Graph) {
+	t.Helper()
+	es := edgeSet(g)
+	for pair, cap := range es {
+		rev, ok := es[[2]NodeID{pair[1], pair[0]}]
+		if !ok {
+			t.Errorf("edge %d->%d has no reverse edge", pair[0], pair[1])
+			continue
+		}
+		if rev != cap {
+			t.Errorf("edge %d->%d capacity %v, reverse %v", pair[0], pair[1], cap, rev)
+		}
+	}
+}
+
+func TestFatTreeInvariants(t *testing.T) {
+	cases := []struct {
+		k        int
+		capacity float64
+	}{
+		{2, 1}, {4, 1}, {4, 2.5}, {6, 1}, {8, 1},
+	}
+	for _, c := range cases {
+		g := FatTree(c.k, c.capacity)
+		half := c.k / 2
+
+		// Node census: k^3/4 hosts, k^2/4 core, k*k/2 edge and agg switches.
+		wantHosts := c.k * c.k * c.k / 4
+		if got := len(g.Hosts()); got != wantHosts {
+			t.Errorf("k=%d: %d hosts, want %d", c.k, got, wantHosts)
+		}
+		if wantHosts != NumFatTreeHosts(c.k) {
+			t.Errorf("k=%d: NumFatTreeHosts = %d, want %d", c.k, NumFatTreeHosts(c.k), wantHosts)
+		}
+		kinds := map[NodeKind]int{}
+		for _, n := range g.Nodes() {
+			kinds[n.Kind]++
+		}
+		if kinds[KindCoreSwitch] != half*half {
+			t.Errorf("k=%d: %d core switches, want %d", c.k, kinds[KindCoreSwitch], half*half)
+		}
+		if kinds[KindAggSwitch] != c.k*half || kinds[KindEdgeSwitch] != c.k*half {
+			t.Errorf("k=%d: agg/edge = %d/%d, want %d each", c.k, kinds[KindAggSwitch], kinds[KindEdgeSwitch], c.k*half)
+		}
+
+		// Link census: hosts + edge-agg bipartite per pod + agg-core uplinks,
+		// each bidirectional.
+		wantDirected := 2 * (wantHosts + c.k*half*half + c.k*half*half)
+		if g.NumEdges() != wantDirected {
+			t.Errorf("k=%d: %d directed edges, want %d", c.k, g.NumEdges(), wantDirected)
+		}
+		for _, e := range g.Edges() {
+			if e.Capacity != c.capacity {
+				t.Errorf("k=%d: edge %d->%d capacity %v, want %v", c.k, e.From, e.To, e.Capacity, c.capacity)
+			}
+			// No host-to-host shortcuts: at least one endpoint is a switch,
+			// and core switches never touch hosts directly.
+			fk, tk := g.Node(e.From).Kind, g.Node(e.To).Kind
+			if fk == KindHost && tk == KindHost {
+				t.Errorf("k=%d: host-host edge %d->%d", c.k, e.From, e.To)
+			}
+			if (fk == KindCoreSwitch && tk == KindHost) || (fk == KindHost && tk == KindCoreSwitch) {
+				t.Errorf("k=%d: core-host edge %d->%d", c.k, e.From, e.To)
+			}
+		}
+		checkSymmetric(t, g)
+
+		if !g.StronglyConnectedHosts() {
+			t.Errorf("k=%d: hosts not strongly connected", c.k)
+		}
+	}
+}
+
+func TestFatTreePanicsOnBadArity(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FatTree(%d) did not panic", k)
+				}
+			}()
+			FatTree(k, 1)
+		}()
+	}
+}
+
+func TestLineInvariants(t *testing.T) {
+	for _, n := range []int{2, 3, 7} {
+		g := Line(n, 2.5)
+		if g.NumNodes() != n || len(g.Hosts()) != n {
+			t.Errorf("n=%d: %d nodes / %d hosts, want %d hosts", n, g.NumNodes(), len(g.Hosts()), n)
+		}
+		// A path of n nodes has n-1 bidirectional links.
+		if g.NumEdges() != 2*(n-1) {
+			t.Errorf("n=%d: %d directed edges, want %d", n, g.NumEdges(), 2*(n-1))
+		}
+		for _, e := range g.Edges() {
+			if e.Capacity != 2.5 {
+				t.Errorf("n=%d: capacity %v, want 2.5", n, e.Capacity)
+			}
+			d := int(e.To) - int(e.From)
+			if d != 1 && d != -1 {
+				t.Errorf("n=%d: non-adjacent edge %d->%d", n, e.From, e.To)
+			}
+		}
+		checkSymmetric(t, g)
+		if !g.StronglyConnectedHosts() {
+			t.Errorf("n=%d: hosts not strongly connected", n)
+		}
+		// The end-to-end shortest path traverses every link once.
+		if p := g.ShortestPath(0, NodeID(n-1)); len(p) != n-1 {
+			t.Errorf("n=%d: end-to-end path has %d hops, want %d", n, len(p), n-1)
+		}
+	}
+}
+
+func TestLinePanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, 1, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Line(%d) did not panic", n)
+				}
+			}()
+			Line(n, 1)
+		}()
+	}
+}

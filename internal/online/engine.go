@@ -356,40 +356,52 @@ func routeArrivals(inst *coflow.Instance, candidatePaths int) (map[coflow.FlowRe
 	load := make([]float64, inst.Network.NumEdges())
 	paths := make(map[coflow.FlowRef]graph.Path, len(refs))
 	for _, ref := range refs {
-		f := inst.Flow(ref)
-		var cands []graph.Path
-		if f.Path != nil {
-			cands = []graph.Path{f.Path}
-		} else {
-			cands = inst.Network.KShortestPaths(f.Source, f.Dest, candidatePaths)
-		}
-		if len(cands) == 0 {
-			return nil, fmt.Errorf("online: no path from %d to %d for flow %s", f.Source, f.Dest, ref)
-		}
-		bestIdx := 0
-		bestMax, bestSum := -1.0, 0.0
-		for i, p := range cands {
-			maxLoad, sumLoad := 0.0, 0.0
-			for _, e := range p {
-				l := (load[e] + f.Size) / inst.Network.Capacity(e)
-				sumLoad += l
-				if l > maxLoad {
-					maxLoad = l
-				}
-			}
-			if bestMax < 0 || maxLoad < bestMax-1e-12 ||
-				(maxLoad < bestMax+1e-12 && sumLoad < bestSum-1e-12) {
-				bestMax, bestSum = maxLoad, sumLoad
-				bestIdx = i
-			}
-		}
-		chosen := cands[bestIdx]
-		for _, e := range chosen {
-			load[e] += f.Size
+		chosen, err := routeFlow(inst.Network, load, inst.Flow(ref), candidatePaths)
+		if err != nil {
+			return nil, fmt.Errorf("online: flow %s: %w", ref, err)
 		}
 		paths[ref] = chosen
 	}
 	return paths, nil
+}
+
+// routeFlow picks the candidate path for one flow minimizing the resulting
+// size-weighted bottleneck load given the volume admitted so far, then
+// charges the flow's volume to the chosen path in load. Pre-assigned paths
+// are respected. Shared by the batch admitter above and the incremental
+// Engine, which both see flows causally, in admission order.
+func routeFlow(g *graph.Graph, load []float64, f *coflow.Flow, candidatePaths int) (graph.Path, error) {
+	var cands []graph.Path
+	if f.Path != nil {
+		cands = []graph.Path{f.Path}
+	} else {
+		cands = g.KShortestPaths(f.Source, f.Dest, candidatePaths)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no path from %d to %d", f.Source, f.Dest)
+	}
+	bestIdx := 0
+	bestMax, bestSum := -1.0, 0.0
+	for i, p := range cands {
+		maxLoad, sumLoad := 0.0, 0.0
+		for _, e := range p {
+			l := (load[e] + f.Size) / g.Capacity(e)
+			sumLoad += l
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		if bestMax < 0 || maxLoad < bestMax-1e-12 ||
+			(maxLoad < bestMax+1e-12 && sumLoad < bestSum-1e-12) {
+			bestMax, bestSum = maxLoad, sumLoad
+			bestIdx = i
+		}
+	}
+	chosen := cands[bestIdx]
+	for _, e := range chosen {
+		load[e] += f.Size
+	}
+	return chosen, nil
 }
 
 // overlap returns the length of the intersection of [a0,a1] and [b0,b1].

@@ -1,0 +1,527 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/sim"
+)
+
+// Engine is the incremental form of Run, built for long-running servers:
+// instead of streaming a fixed instance through the epoch loop, coflows are
+// admitted one at a time (Admit), the clock is advanced explicitly
+// (AdvanceTo), and priority decisions are installed by the caller
+// (ApplyOrder), so an expensive Decide can run outside the goroutine that
+// owns the engine. The engine itself is NOT safe for concurrent use — a
+// single goroutine must own it and serialize access, which is exactly what
+// internal/server's scheduler goroutine does.
+//
+// The residual snapshot the caller hands to Policy.Decide comes from
+// Snapshot, which — like the batch loop — only exposes admitted, unfinished
+// coflows, so policies remain causally blind to the future.
+//
+// Long-running cost: per-tick work (AdvanceTo, Snapshot) is proportional to
+// the flows of ACTIVE coflows only — completed coflows are pruned from the
+// simulator (sim.Forget) as soon as their completion is recorded, and the
+// slowdown/solve-latency samples live in bounded reservoirs of the most
+// recent statsWindow values. What does grow with total admissions is the
+// per-coflow registry (arrival, completion, byte totals — a few words per
+// coflow) that backs the status endpoint.
+type Engine struct {
+	cfg    Config
+	policy Policy
+	inst   *coflow.Instance
+	sim    *sim.Simulator
+
+	// arrivals and gammas are indexed by coflow id (= index in inst.Coflows).
+	// gamma is the coflow's isolated bottleneck time under its admission
+	// routing, the slowdown denominator.
+	arrivals []float64
+	gammas   []float64
+	// flowsLeft counts unfinished flows per coflow (as of the last advance);
+	// completion holds the max flow completion seen so far (the coflow CCT
+	// once flowsLeft hits 0); totalBytes the coflow's admitted volume.
+	flowsLeft  []int
+	completion []float64
+	totalBytes []float64
+	// active lists admitted, uncompleted coflow ids in admission order; it
+	// is the only set the per-tick scans iterate.
+	active []int
+
+	// load accumulates admitted volume per edge for causal path selection.
+	load  []float64
+	now   float64
+	epoch int
+	order []coflow.FlowRef
+
+	// Aggregates surfaced by Stats.
+	completedCoflows int
+	doneFlows        int
+	totalFlows       int
+	decisions        int
+	weightedCCT      float64
+	weightedResponse float64
+	slowdowns        ring
+	solveLatencies   ring
+}
+
+// statsWindow bounds the percentile sample reservoirs: a long-running
+// daemon reports tails over the most recent window rather than accumulating
+// every sample forever.
+const statsWindow = 4096
+
+// ring is a bounded sample reservoir holding the most recent statsWindow
+// values (insertion order is irrelevant to percentiles).
+type ring struct {
+	vals []float64
+	next int
+}
+
+func (r *ring) add(v float64) {
+	if len(r.vals) < statsWindow {
+		r.vals = append(r.vals, v)
+		return
+	}
+	r.vals[r.next] = v
+	r.next = (r.next + 1) % statsWindow
+}
+
+func (r *ring) snapshot() []float64 { return append([]float64(nil), r.vals...) }
+
+// EngineStats is the aggregate view surfaced by Engine.Stats, the source of
+// the server's /v1/stats and /metrics endpoints.
+type EngineStats struct {
+	// Now is the engine clock (simulated time last advanced to).
+	Now float64
+	// Epochs counts AdvanceTo calls, Decisions counts applied orders.
+	Epochs    int
+	Decisions int
+	// Admitted, Completed and Active count coflows.
+	Admitted  int
+	Completed int
+	Active    int
+	// ActiveFlows counts admitted, unfinished flows.
+	ActiveFlows int
+	// WeightedCCT and WeightedResponse aggregate over completed coflows.
+	WeightedCCT      float64
+	WeightedResponse float64
+	// Slowdowns holds one entry per completed coflow (response over the
+	// coflow's isolated bottleneck time), bounded to the most recent
+	// statsWindow completions.
+	Slowdowns []float64
+	// SolveLatencies holds the wall-clock duration, in seconds, of applied
+	// policy decisions, bounded to the most recent statsWindow.
+	SolveLatencies []float64
+}
+
+// CoflowStatus is the per-coflow view surfaced by Engine.CoflowStatus, the
+// source of the server's GET /v1/coflows/{id}.
+type CoflowStatus struct {
+	ID      int
+	Name    string
+	Weight  float64
+	Arrival float64
+	// NumFlows and FlowsDone count the coflow's flows; TotalBytes and
+	// RemainingBytes its volume.
+	NumFlows       int
+	FlowsDone      int
+	TotalBytes     float64
+	RemainingBytes float64
+	Done           bool
+	// Completion, Response and Slowdown are meaningful once Done.
+	Completion float64
+	Response   float64
+	Slowdown   float64
+}
+
+// NewEngine builds an empty incremental engine over the given network. The
+// policy must be snapshot-driven (Preparer policies like Oracle need the full
+// future up front, which an incremental engine cannot provide).
+func NewEngine(g *graph.Graph, policy Policy, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.EpochLength <= 0 {
+		return nil, fmt.Errorf("online: epoch length must be positive, got %v", cfg.EpochLength)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("online: engine requires a network")
+	}
+	if _, ok := policy.(Preparer); ok {
+		return nil, fmt.Errorf("online: policy %s needs the full instance up front and cannot run incrementally", policy.Name())
+	}
+	inst := &coflow.Instance{Network: g}
+	s, err := sim.New(inst, sim.Config{Policy: sim.Priority})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:    cfg,
+		policy: policy,
+		inst:   inst,
+		sim:    s,
+		load:   make([]float64, g.NumEdges()),
+	}, nil
+}
+
+// Policy returns the engine's policy. Decide may be called on it from any
+// goroutine (policies are stateless once constructed); the resulting order
+// must come back through ApplyOrder on the owning goroutine.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Now returns the engine clock.
+func (e *Engine) Now() float64 { return e.now }
+
+// EpochLength returns the configured epoch length.
+func (e *Engine) EpochLength() float64 { return e.cfg.EpochLength }
+
+// NumCoflows returns the number of admitted coflows.
+func (e *Engine) NumCoflows() int { return len(e.inst.Coflows) }
+
+// Done reports whether every admitted flow has completed.
+func (e *Engine) Done() bool { return e.sim.Done() }
+
+// Admit validates and admits one coflow at time now, returning its id. The
+// coflow's flow Release fields are treated as offsets from the admission
+// time (negative offsets are clamped to zero); each flow is routed causally
+// onto the least-loaded of its candidate paths, exactly like the batch
+// admitter. Admission must not precede the engine clock.
+func (e *Engine) Admit(cf coflow.Coflow, now float64) (int, error) {
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return 0, fmt.Errorf("online: invalid admission time %v", now)
+	}
+	if now < e.now-1e-12 {
+		return 0, fmt.Errorf("online: admission at %v precedes the engine clock %v", now, e.now)
+	}
+	if now < e.now {
+		now = e.now // absorb sub-tolerance clock skew
+	}
+	if cf.Weight < 0 || math.IsNaN(cf.Weight) {
+		return 0, fmt.Errorf("online: invalid coflow weight %v", cf.Weight)
+	}
+	if len(cf.Flows) == 0 {
+		return 0, fmt.Errorf("online: coflow has no flows")
+	}
+	n := e.inst.Network.NumNodes()
+	for j, f := range cf.Flows {
+		if int(f.Source) < 0 || int(f.Source) >= n || int(f.Dest) < 0 || int(f.Dest) >= n {
+			return 0, fmt.Errorf("online: flow %d has endpoints outside the network", j)
+		}
+		if f.Source == f.Dest {
+			return 0, fmt.Errorf("online: flow %d has identical source and destination", j)
+		}
+		if f.Size <= 0 || math.IsNaN(f.Size) || math.IsInf(f.Size, 0) {
+			return 0, fmt.Errorf("online: flow %d has invalid size %v", j, f.Size)
+		}
+		if math.IsNaN(f.Release) || math.IsInf(f.Release, 0) {
+			return 0, fmt.Errorf("online: flow %d has invalid release offset %v", j, f.Release)
+		}
+		if f.Path != nil {
+			if err := f.Path.Validate(e.inst.Network, f.Source, f.Dest); err != nil {
+				return 0, fmt.Errorf("online: flow %d pre-assigned path invalid: %v", j, err)
+			}
+		}
+	}
+
+	// Route and register. Work on a copy so a mid-coflow failure leaves no
+	// partial admission behind in the routing load (sim registration failures
+	// after routing cannot happen: the reference is fresh and the path was
+	// just validated — but guard anyway and roll back).
+	id := len(e.inst.Coflows)
+	admitted := coflow.Coflow{Name: cf.Name, Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+	loadBefore := append([]float64(nil), e.load...)
+	gammaLoads := make([]graph.PathLoad, len(cf.Flows))
+	for j, f := range cf.Flows {
+		offset := f.Release
+		if offset < 0 {
+			offset = 0
+		}
+		path, err := routeFlow(e.inst.Network, e.load, &f, e.cfg.CandidatePaths)
+		if err != nil {
+			e.load = loadBefore
+			return 0, fmt.Errorf("online: flow %d: %w", j, err)
+		}
+		admitted.Flows[j] = coflow.Flow{
+			Source:  f.Source,
+			Dest:    f.Dest,
+			Size:    f.Size,
+			Release: now + offset,
+			Path:    path,
+		}
+		gammaLoads[j] = graph.PathLoad{Path: path, Volume: f.Size}
+	}
+	for j := range admitted.Flows {
+		ref := coflow.FlowRef{Coflow: id, Index: j}
+		if err := e.sim.AddFlow(ref, admitted.Flows[j], admitted.Flows[j].Path); err != nil {
+			if j > 0 {
+				// Flows cannot be unregistered from the simulator, so a
+				// failure after the first registration would leave a partial
+				// coflow behind. Unreachable with the pre-validated inputs
+				// above (fresh references, validated paths, future releases).
+				panic(fmt.Sprintf("online: partial admission of coflow %d: %v", id, err))
+			}
+			e.load = loadBefore
+			return 0, err
+		}
+	}
+
+	bytes := 0.0
+	for _, f := range admitted.Flows {
+		bytes += f.Size
+	}
+	e.inst.Coflows = append(e.inst.Coflows, admitted)
+	e.arrivals = append(e.arrivals, now)
+	e.gammas = append(e.gammas, e.inst.Network.BottleneckTime(gammaLoads))
+	e.flowsLeft = append(e.flowsLeft, len(admitted.Flows))
+	e.completion = append(e.completion, 0)
+	e.totalBytes = append(e.totalBytes, bytes)
+	e.active = append(e.active, id)
+	e.totalFlows += len(admitted.Flows)
+	return id, nil
+}
+
+// Snapshot captures the policy-visible residual state at the engine clock,
+// without stopping or perturbing the simulation: admitted coflows that have
+// arrived and still have unfinished flows, exactly what the batch loop
+// shows its policies. The snapshot is an independent copy, safe to hand to
+// a Decide running on another goroutine. Cost is proportional to active
+// flows, not total admissions.
+func (e *Engine) Snapshot() *Snapshot {
+	snap := &Snapshot{Now: e.now, Epoch: e.epoch, Network: e.inst.Network}
+	for _, id := range e.active {
+		if e.arrivals[id] > e.now+1e-15 {
+			continue // future admission: invisible to the policy
+		}
+		cf := &e.inst.Coflows[id]
+		rcf := ResidualCoflow{Index: id, Name: cf.Name, Weight: cf.Weight, Arrival: e.arrivals[id]}
+		for j, f := range cf.Flows {
+			ref := coflow.FlowRef{Coflow: id, Index: j}
+			fs, ok := e.sim.Status(ref)
+			if !ok || fs.Done {
+				continue
+			}
+			rcf.Flows = append(rcf.Flows, ResidualFlow{
+				Ref:       ref,
+				Source:    f.Source,
+				Dest:      f.Dest,
+				Path:      fs.Path,
+				Release:   f.Release,
+				Size:      fs.Size,
+				Remaining: fs.Remaining,
+			})
+		}
+		if len(rcf.Flows) > 0 {
+			snap.Coflows = append(snap.Coflows, rcf)
+		}
+	}
+	return snap
+}
+
+// ApplyOrder installs a priority order (normally the result of running the
+// engine's policy on a Snapshot) and records the wall-clock latency of the
+// decision that produced it. Orders computed asynchronously are one epoch
+// stale: coflows that completed during the solve have been pruned from the
+// simulator, so their refs are silently dropped — the decision's ranking of
+// the still-live flows remains worth applying.
+func (e *Engine) ApplyOrder(order []coflow.FlowRef, solveLatency time.Duration) error {
+	live := order[:0:0]
+	for _, r := range order {
+		if _, ok := e.sim.Status(r); ok {
+			live = append(live, r)
+		}
+	}
+	if err := e.sim.SetOrder(live); err != nil {
+		return err
+	}
+	e.order = append(e.order[:0], live...)
+	e.decisions++
+	e.solveLatencies.add(solveLatency.Seconds())
+	return nil
+}
+
+// Order returns the currently applied priority order, restricted to flows
+// that are still unfinished (the view GET /v1/schedule serves).
+func (e *Engine) Order() []coflow.FlowRef {
+	out := make([]coflow.FlowRef, 0, len(e.order))
+	for _, r := range e.order {
+		if fs, ok := e.sim.Status(r); ok && !fs.Done {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AdvanceTo advances the simulation to the given time under the currently
+// applied order and folds newly completed coflows into the aggregates. Times
+// at or before the engine clock are a no-op.
+func (e *Engine) AdvanceTo(to float64) error {
+	if math.IsNaN(to) {
+		return fmt.Errorf("online: invalid advance target %v", to)
+	}
+	if to <= e.now {
+		return nil
+	}
+	if err := e.sim.RunUntil(to); err != nil {
+		return err
+	}
+	e.now = to
+	e.epoch++
+	e.collectCompletions()
+	return nil
+}
+
+// collectCompletions re-scans the active coflows after an advance, closes
+// out those whose last flow completed, and prunes their flow state from the
+// simulator so neither the engine nor the simulator ever iterates finished
+// work again.
+func (e *Engine) collectCompletions() {
+	stillActive := e.active[:0]
+	activeFlows := 0
+	for _, id := range e.active {
+		cf := &e.inst.Coflows[id]
+		done := 0
+		for j := range cf.Flows {
+			fs, ok := e.sim.Status(coflow.FlowRef{Coflow: id, Index: j})
+			if !ok {
+				done++ // already pruned (cannot happen for an active coflow)
+				continue
+			}
+			if fs.Done {
+				done++
+				if fs.Completion > e.completion[id] {
+					e.completion[id] = fs.Completion
+				}
+			}
+		}
+		e.flowsLeft[id] = len(cf.Flows) - done
+		if e.flowsLeft[id] > 0 {
+			stillActive = append(stillActive, id)
+			activeFlows += e.flowsLeft[id]
+			continue
+		}
+		e.completedCoflows++
+		response := e.completion[id] - e.arrivals[id]
+		e.weightedCCT += cf.Weight * e.completion[id]
+		e.weightedResponse += cf.Weight * response
+		if e.gammas[id] > 0 {
+			e.slowdowns.add(response / e.gammas[id])
+		}
+		for j := range cf.Flows {
+			// Forget only errors on unknown/unfinished flows; every flow of
+			// a completed coflow is done by construction.
+			_ = e.sim.Forget(coflow.FlowRef{Coflow: id, Index: j})
+		}
+	}
+	e.active = stillActive
+	e.doneFlows = e.totalFlows - activeFlows
+}
+
+// CoflowStatus reports the current state of one admitted coflow.
+func (e *Engine) CoflowStatus(id int) (CoflowStatus, bool) {
+	if id < 0 || id >= len(e.inst.Coflows) {
+		return CoflowStatus{}, false
+	}
+	cf := e.inst.Coflows[id]
+	st := CoflowStatus{
+		ID:         id,
+		Name:       cf.Name,
+		Weight:     cf.Weight,
+		Arrival:    e.arrivals[id],
+		NumFlows:   len(cf.Flows),
+		TotalBytes: e.totalBytes[id],
+	}
+	if e.flowsLeft[id] == 0 {
+		// Completed and pruned from the simulator; answer from the registry.
+		st.FlowsDone = st.NumFlows
+		st.Done = true
+		st.Completion = e.completion[id]
+		st.Response = st.Completion - st.Arrival
+		if e.gammas[id] > 0 {
+			st.Slowdown = st.Response / e.gammas[id]
+		}
+		return st, true
+	}
+	for j := range cf.Flows {
+		fs, ok := e.sim.Status(coflow.FlowRef{Coflow: id, Index: j})
+		if !ok {
+			continue
+		}
+		st.RemainingBytes += fs.Remaining
+		if fs.Done {
+			st.FlowsDone++
+		}
+	}
+	return st, true
+}
+
+// Stats reports the engine's aggregate counters. The slices are copies.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:              e.now,
+		Epochs:           e.epoch,
+		Decisions:        e.decisions,
+		Admitted:         len(e.inst.Coflows),
+		Completed:        e.completedCoflows,
+		Active:           len(e.inst.Coflows) - e.completedCoflows,
+		ActiveFlows:      e.totalFlows - e.doneFlows,
+		WeightedCCT:      e.weightedCCT,
+		WeightedResponse: e.weightedResponse,
+		Slowdowns:        e.slowdowns.snapshot(),
+		SolveLatencies:   e.solveLatencies.snapshot(),
+	}
+}
+
+// DecideSync takes a snapshot, runs the policy synchronously and applies the
+// resulting order. Idle snapshots (no residual coflows) apply nothing.
+func (e *Engine) DecideSync() error {
+	snap := e.Snapshot()
+	if len(snap.Coflows) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	order, err := e.policy.Decide(snap)
+	if err != nil {
+		return err
+	}
+	return e.ApplyOrder(order, time.Since(t0))
+}
+
+// Drain runs decide/advance epochs until every admitted flow completes,
+// advancing simulated time as far as needed. It is the graceful-shutdown
+// path: no new work is admitted by the caller, and the transcript ends with
+// every in-flight coflow finished. The epoch budget guards against a policy
+// that starves some flow forever.
+func (e *Engine) Drain() error {
+	if e.Done() {
+		return nil
+	}
+	// Residual volume over the slowest link bounds the remaining busy time;
+	// idle gaps before future releases add at most the latest release.
+	minCap := e.inst.Network.MinCapacity()
+	if minCap <= 0 {
+		minCap = 1
+	}
+	remaining := 0.0
+	latestRelease := e.now
+	for _, fs := range e.sim.Residuals() {
+		remaining += fs.Remaining
+		if fs.Release > latestRelease {
+			latestRelease = fs.Release
+		}
+	}
+	horizon := (latestRelease - e.now) + remaining/minCap
+	maxEpochs := int(horizon/e.cfg.EpochLength)*10 + 1000
+	for i := 0; !e.Done(); i++ {
+		if i > maxEpochs {
+			return fmt.Errorf("online: drain exceeded %d epochs (starving flow?)", maxEpochs)
+		}
+		if err := e.DecideSync(); err != nil {
+			return err
+		}
+		if err := e.AdvanceTo(e.now + e.cfg.EpochLength); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"coflowsched/internal/baselines"
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// engineWorkload draws a reproducible Poisson arrival stream on a 16-server
+// fat-tree. Coflows carry no pre-assigned paths, so the engine's causal
+// router picks them, as in production.
+func engineWorkload(t *testing.T, seed int64, coflows int) (*coflow.Instance, []float64) {
+	t.Helper()
+	g := graph.FatTree(4, 1)
+	rng := rand.New(rand.NewSource(seed))
+	inst, arrivals, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+		Config: workload.Config{NumCoflows: coflows, Width: 3, MeanSize: 4, MeanWeight: 1},
+		Rate:   2.0,
+	}, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return inst, arrivals
+}
+
+// relativeCoflow strips absolute release times back to offsets from the
+// coflow's arrival, producing the wire-shaped coflow a client would POST.
+func relativeCoflow(cf coflow.Coflow, arrival float64) coflow.Coflow {
+	out := coflow.Coflow{Name: cf.Name, Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+	copy(out.Flows, cf.Flows)
+	for j := range out.Flows {
+		out.Flows[j].Release -= arrival
+		out.Flows[j].Path = nil
+	}
+	return out
+}
+
+// TestEngineMatchesBatchRun drives the incremental engine through the same
+// epoch discipline as the batch loop — admit each coflow at its arrival,
+// decide synchronously at every boundary, advance one epoch — and checks the
+// resulting schedule scores identically to Run on the full instance.
+func TestEngineMatchesBatchRun(t *testing.T) {
+	const epoch = 1.5
+	inst, arrivals := engineWorkload(t, 5, 6)
+	policy := FIFOOnline{}
+
+	want, err := Run(inst, policy, Config{EpochLength: epoch, Seed: 1})
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+
+	eng, err := NewEngine(inst.Network, policy, Config{EpochLength: epoch})
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+	// The batch loop aligns epoch 0 to the first arrival; mirror that.
+	order := make([]int, len(arrivals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return arrivals[order[a]] < arrivals[order[b]] })
+	next := 0
+	admit := func(upTo float64) {
+		for next < len(order) && arrivals[order[next]] <= upTo+1e-15 {
+			id := order[next]
+			got, err := eng.Admit(relativeCoflow(inst.Coflows[id], arrivals[id]), arrivals[id])
+			if err != nil {
+				t.Fatalf("admit coflow %d: %v", id, err)
+			}
+			if got != id {
+				t.Fatalf("admit returned id %d, want %d (arrival-ordered admission)", got, id)
+			}
+			next++
+		}
+	}
+	start := arrivals[order[0]]
+	admit(start)
+	if err := eng.AdvanceTo(start); err != nil {
+		t.Fatalf("advance to start: %v", err)
+	}
+	for now := start; !eng.Done(); now += epoch {
+		if err := eng.DecideSync(); err != nil {
+			t.Fatalf("decide at %v: %v", now, err)
+		}
+		admit(now + epoch) // arrivals inside the epoch land mid-simulation
+		if err := eng.AdvanceTo(now + epoch); err != nil {
+			t.Fatalf("advance to %v: %v", now+epoch, err)
+		}
+		if now > 100*inst.TimeHorizon() {
+			t.Fatalf("engine did not finish")
+		}
+	}
+
+	st := eng.Stats()
+	if st.Completed != len(inst.Coflows) {
+		t.Fatalf("completed %d of %d coflows", st.Completed, len(inst.Coflows))
+	}
+	if math.Abs(st.WeightedCCT-want.WeightedCCT) > 1e-6*want.WeightedCCT {
+		t.Errorf("weighted CCT: engine %v, batch %v", st.WeightedCCT, want.WeightedCCT)
+	}
+	if math.Abs(st.WeightedResponse-want.WeightedResponse) > 1e-6*want.WeightedResponse {
+		t.Errorf("weighted response: engine %v, batch %v", st.WeightedResponse, want.WeightedResponse)
+	}
+	for i := range inst.Coflows {
+		cs, ok := eng.CoflowStatus(i)
+		if !ok || !cs.Done {
+			t.Fatalf("coflow %d not reported done", i)
+		}
+		if math.Abs(cs.Completion-want.CoflowCompletion[i]) > 1e-9 {
+			t.Errorf("coflow %d completion: engine %v, batch %v", i, cs.Completion, want.CoflowCompletion[i])
+		}
+	}
+}
+
+// TestRing pins the bounded-reservoir behavior the engine's percentile
+// inputs rely on: grows to statsWindow, then overwrites oldest-first.
+func TestRing(t *testing.T) {
+	var r ring
+	for i := 0; i < statsWindow+10; i++ {
+		r.add(float64(i))
+	}
+	vals := r.snapshot()
+	if len(vals) != statsWindow {
+		t.Fatalf("reservoir holds %d values, want %d", len(vals), statsWindow)
+	}
+	min := vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+	}
+	if min != 10 {
+		t.Errorf("oldest surviving value %v, want 10 (oldest-first eviction)", min)
+	}
+}
+
+// TestEngineAdmitValidation exercises the rejection paths.
+func TestEngineAdmitValidation(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	hosts := g.Hosts()
+	eng, err := NewEngine(g, SEBFOnline{}, Config{EpochLength: 1})
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+	ok := coflow.Coflow{Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[1], Size: 2}}}
+
+	cases := []struct {
+		name string
+		cf   coflow.Coflow
+		at   float64
+	}{
+		{"no flows", coflow.Coflow{Weight: 1}, 0},
+		{"negative weight", coflow.Coflow{Weight: -1, Flows: ok.Flows}, 0},
+		{"NaN weight", coflow.Coflow{Weight: math.NaN(), Flows: ok.Flows}, 0},
+		{"zero size", coflow.Coflow{Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[1], Size: 0}}}, 0},
+		{"bad endpoint", coflow.Coflow{Weight: 1, Flows: []coflow.Flow{{Source: -1, Dest: hosts[1], Size: 1}}}, 0},
+		{"self loop", coflow.Coflow{Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[0], Size: 1}}}, 0},
+		{"NaN release", coflow.Coflow{Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[1], Size: 1, Release: math.NaN()}}}, 0},
+		{"NaN admission time", ok, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := eng.Admit(c.cf, c.at); err == nil {
+			t.Errorf("%s: admission accepted", c.name)
+		}
+	}
+	if st := eng.Stats(); st.Admitted != 0 {
+		t.Fatalf("rejected admissions leaked state: %+v", st)
+	}
+
+	// Valid admission, then one in the past.
+	if _, err := eng.Admit(ok, 0); err != nil {
+		t.Fatalf("valid admission rejected: %v", err)
+	}
+	if err := eng.DecideSync(); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if err := eng.AdvanceTo(5); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	if _, err := eng.Admit(ok, 3); err == nil {
+		t.Errorf("admission in the past accepted")
+	}
+}
+
+// TestApplyStaleOrder reproduces the async serving race: a decision solved
+// from a snapshot taken before a coflow completed still names that coflow's
+// (since pruned) flows. Applying it must succeed and rank the surviving
+// flows, not reject the whole decision.
+func TestApplyStaleOrder(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	hosts := g.Hosts()
+	eng, err := NewEngine(g, FIFOOnline{}, Config{EpochLength: 1})
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+	small := coflow.Coflow{Name: "small", Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[1], Size: 1}}}
+	big := coflow.Coflow{Name: "big", Weight: 1, Flows: []coflow.Flow{{Source: hosts[2], Dest: hosts[3], Size: 50}}}
+	if _, err := eng.Admit(small, 0); err != nil {
+		t.Fatalf("admit small: %v", err)
+	}
+	if _, err := eng.Admit(big, 0); err != nil {
+		t.Fatalf("admit big: %v", err)
+	}
+	// Snapshot-then-decide while both coflows are live (the in-flight solve).
+	snap := eng.Snapshot()
+	stale, err := eng.Policy().Decide(snap)
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale order has %d flows, want 2", len(stale))
+	}
+	// The small coflow completes (disjoint paths) and is pruned mid-solve.
+	if err := eng.AdvanceTo(5); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	if st, _ := eng.CoflowStatus(0); !st.Done {
+		t.Fatalf("small coflow not done at t=5: %+v", st)
+	}
+	// Applying the stale decision must not fail, and must keep the live flow.
+	if err := eng.ApplyOrder(stale, time.Millisecond); err != nil {
+		t.Fatalf("applying stale order: %v", err)
+	}
+	if st := eng.Stats(); st.Decisions != 1 {
+		t.Errorf("decisions = %d, want 1", st.Decisions)
+	}
+	order := eng.Order()
+	if len(order) != 1 || order[0].Coflow != 1 {
+		t.Errorf("residual order %v, want the big coflow's flow only", order)
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestEngineOracleRejected checks the Preparer guard.
+func TestEngineOracleRejected(t *testing.T) {
+	if _, err := NewEngine(graph.FatTree(4, 1), NewOracle(baselines.SEBF{}), Config{EpochLength: 1}); err == nil {
+		t.Fatalf("engine accepted a hindsight policy")
+	}
+}
+
+// TestEngineDrain admits a burst mid-run and drains to completion, checking
+// stats, per-coflow status and the residual schedule view along the way.
+func TestEngineDrain(t *testing.T) {
+	inst, arrivals := engineWorkload(t, 9, 5)
+	eng, err := NewEngine(inst.Network, SEBFOnline{}, Config{EpochLength: 2})
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+	last := 0.0
+	for i, cf := range inst.Coflows {
+		if _, err := eng.Admit(relativeCoflow(cf, arrivals[i]), arrivals[i]); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if arrivals[i] > last {
+			last = arrivals[i]
+		}
+	}
+	// Advance past the last arrival so every coflow is visible to the policy.
+	if err := eng.AdvanceTo(last); err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	if err := eng.DecideSync(); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if got := len(eng.Order()); got == 0 {
+		t.Fatalf("no priority order after a decision over %d coflows", eng.NumCoflows())
+	}
+	snap := eng.Snapshot()
+	if len(snap.Coflows) == 0 {
+		t.Fatalf("snapshot empty with admitted work")
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !eng.Done() {
+		t.Fatalf("engine not done after drain")
+	}
+	st := eng.Stats()
+	if st.Completed != len(inst.Coflows) || st.Active != 0 || st.ActiveFlows != 0 {
+		t.Fatalf("post-drain stats inconsistent: %+v", st)
+	}
+	if st.WeightedCCT <= 0 || st.WeightedResponse <= 0 {
+		t.Fatalf("post-drain objectives not positive: %+v", st)
+	}
+	if len(st.Slowdowns) != len(inst.Coflows) {
+		t.Fatalf("got %d slowdowns for %d coflows", len(st.Slowdowns), len(inst.Coflows))
+	}
+	for i, s := range st.Slowdowns {
+		if s < 1-1e-9 {
+			t.Errorf("slowdown %d = %v below 1 (faster than isolated bottleneck?)", i, s)
+		}
+	}
+	if len(eng.Order()) != 0 {
+		t.Errorf("residual order not empty after drain")
+	}
+	if _, ok := eng.CoflowStatus(len(inst.Coflows)); ok {
+		t.Errorf("status for unknown coflow id")
+	}
+}

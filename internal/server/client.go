@@ -1,0 +1,356 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/stats"
+	"coflowsched/internal/workload"
+)
+
+// Client is a small typed client for the coflowd HTTP API, shared by
+// cmd/coflowload and the closed-loop tests.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(base, "/"),
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.HTTPClient.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// Admit posts one coflow; flow Release fields are offsets from admission.
+func (c *Client) Admit(cf coflow.Coflow) (AdmitResponse, error) {
+	body, err := json.Marshal(cf)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	resp, err := c.HTTPClient.Post(c.BaseURL+"/v1/coflows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	var out AdmitResponse
+	return out, decodeResponse(resp, &out)
+}
+
+// Coflow fetches one coflow's status.
+func (c *Client) Coflow(id int) (CoflowResponse, error) {
+	var out CoflowResponse
+	return out, c.get(fmt.Sprintf("/v1/coflows/%d", id), &out)
+}
+
+// Schedule fetches the current residual priority order.
+func (c *Client) Schedule() (ScheduleResponse, error) {
+	var out ScheduleResponse
+	return out, c.get("/v1/schedule", &out)
+}
+
+// Stats fetches the aggregate statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	return out, c.get("/v1/stats", &out)
+}
+
+// Health fetches the health summary.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	return out, c.get("/healthz", &out)
+}
+
+// Network fetches the topology summary the generator builds coflows from.
+func (c *Client) Network() (NetworkResponse, error) {
+	var out NetworkResponse
+	return out, c.get("/v1/network", &out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// LoadConfig parameterizes a load-generation run: a Poisson replay of
+// workload.GenerateArrivals against a live daemon, in wall-clock time.
+type LoadConfig struct {
+	// Coflows is the number of coflows to admit (default 100).
+	Coflows int
+	// Width is the number of flows per coflow (default 3).
+	Width int
+	// MeanSize and MeanWeight shape the coflows (defaults 4 and 1).
+	MeanSize   float64
+	MeanWeight float64
+	// Rate is the mean coflow arrival rate in requests per wall-clock
+	// second (default 50). Inter-arrival gaps are exponential — the same
+	// Poisson process the simulator studies, replayed in real time.
+	Rate float64
+	// Concurrency is the number of concurrent admitters (default 4). If
+	// arrivals outpace them the replay degrades gracefully from open-loop
+	// to closed-loop.
+	Concurrency int
+	// Seed makes the replay reproducible.
+	Seed int64
+	// WaitComplete polls after the replay until every admitted coflow
+	// finishes (or WaitTimeout, default 60s, elapses).
+	WaitComplete bool
+	WaitTimeout  time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (cfg LoadConfig) withDefaults() LoadConfig {
+	if cfg.Coflows <= 0 {
+		cfg.Coflows = 100
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 3
+	}
+	if cfg.MeanSize <= 0 {
+		cfg.MeanSize = 4
+	}
+	if cfg.MeanWeight <= 0 {
+		cfg.MeanWeight = 1
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 50
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = 60 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// LoadReport summarizes a replay: request outcome counts, achieved
+// throughput, and admit-request latency percentiles.
+type LoadReport struct {
+	Requests    int
+	Failures    int
+	Duration    time.Duration
+	AchievedRPS float64
+	// LatencyP50/P95/P99 are admit request latencies.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+	// Completed counts coflows confirmed finished (only populated with
+	// WaitComplete).
+	Completed int
+	// FirstError carries the first failure's message, for diagnostics.
+	FirstError string
+}
+
+// String renders the report for terminals.
+func (r *LoadReport) String() string {
+	s := fmt.Sprintf("requests=%d failures=%d duration=%.2fs achieved_rps=%.1f latency p50/p95/p99 = %.2f/%.2f/%.2f ms",
+		r.Requests, r.Failures, r.Duration.Seconds(), r.AchievedRPS,
+		float64(r.LatencyP50.Microseconds())/1e3,
+		float64(r.LatencyP95.Microseconds())/1e3,
+		float64(r.LatencyP99.Microseconds())/1e3)
+	if r.Completed > 0 {
+		s += fmt.Sprintf(" completed=%d", r.Completed)
+	}
+	if r.FirstError != "" {
+		s += "\nfirst error: " + r.FirstError
+	}
+	return s
+}
+
+// RunLoad replays a Poisson coflow arrival process against a live daemon.
+// The workload comes from workload.GenerateArrivals on a star stand-in
+// topology with the daemon's host count; generated endpoints are remapped
+// onto the daemon's actual host ids, and the generated arrival times become
+// the wall-clock send schedule. Flow release offsets are zero: every flow of
+// a coflow is released on admission, matching the generator's default.
+func RunLoad(c *Client, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	net, err := c.Network()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetching topology: %w", err)
+	}
+	if len(net.Hosts) < 2 {
+		return nil, fmt.Errorf("loadgen: daemon topology has %d hosts, need at least 2", len(net.Hosts))
+	}
+
+	// Draw the workload on a stand-in star with the same host count; only
+	// the endpoint identities differ, and those are remapped below.
+	standIn := graph.Star(len(net.Hosts), 1)
+	localHosts := standIn.Hosts()
+	hostIndex := make(map[graph.NodeID]int, len(localHosts))
+	for i, h := range localHosts {
+		hostIndex[h] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inst, arrivals, err := workload.GenerateArrivals(standIn, workload.ArrivalConfig{
+		Config: workload.Config{
+			NumCoflows: cfg.Coflows,
+			Width:      cfg.Width,
+			MeanSize:   cfg.MeanSize,
+			MeanWeight: cfg.MeanWeight,
+		},
+		Rate: cfg.Rate,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: generating workload: %w", err)
+	}
+	wire := make([]coflow.Coflow, len(inst.Coflows))
+	for i, cf := range inst.Coflows {
+		w := coflow.Coflow{Name: fmt.Sprintf("load-%d", i), Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+		for j, f := range cf.Flows {
+			w.Flows[j] = coflow.Flow{
+				Source: graph.NodeID(net.Hosts[hostIndex[f.Source]]),
+				Dest:   graph.NodeID(net.Hosts[hostIndex[f.Dest]]),
+				Size:   f.Size,
+			}
+		}
+		wire[i] = w
+	}
+
+	// Replay: a dispatcher paces the Poisson schedule, workers admit.
+	type result struct {
+		id      int
+		latency float64 // seconds
+		err     error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				resp, err := c.Admit(wire[i])
+				results <- result{id: resp.ID, latency: time.Since(t0).Seconds(), err: err}
+			}
+		}()
+	}
+	start := time.Now()
+	go func() {
+		for i := range wire {
+			due := start.Add(time.Duration(arrivals[i] * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	report := &LoadReport{}
+	var latencies []float64
+	var ids []int
+	for res := range results {
+		report.Requests++
+		if res.err != nil {
+			report.Failures++
+			if report.FirstError == "" {
+				report.FirstError = res.err.Error()
+			}
+			continue
+		}
+		latencies = append(latencies, res.latency)
+		ids = append(ids, res.id)
+	}
+	report.Duration = time.Since(start)
+	if report.Duration > 0 {
+		report.AchievedRPS = float64(report.Requests) / report.Duration.Seconds()
+	}
+	if len(latencies) > 0 {
+		report.LatencyP50 = time.Duration(stats.Percentile(latencies, 50) * float64(time.Second))
+		report.LatencyP95 = time.Duration(stats.Percentile(latencies, 95) * float64(time.Second))
+		report.LatencyP99 = time.Duration(stats.Percentile(latencies, 99) * float64(time.Second))
+	}
+	cfg.Logf("loadgen: admitted %d coflows in %.2fs (%.1f rps, %d failures)",
+		report.Requests-report.Failures, report.Duration.Seconds(), report.AchievedRPS, report.Failures)
+
+	if cfg.WaitComplete {
+		completed, err := waitComplete(c, ids, cfg.WaitTimeout, cfg.Logf)
+		report.Completed = completed
+		if err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// waitComplete polls the per-coflow status endpoint until every id reports
+// done or the timeout elapses. Individual poll errors are treated as
+// transient — the id stays pending and is retried until the deadline, so a
+// single dropped connection does not fail a replay whose coflows all
+// complete — but the last one is surfaced if the deadline expires.
+func waitComplete(c *Client, ids []int, timeout time.Duration, logf func(string, ...any)) (int, error) {
+	deadline := time.Now().Add(timeout)
+	pending := append([]int(nil), ids...)
+	done := 0
+	var lastErr error
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			err := fmt.Errorf("loadgen: %d of %d coflows still unfinished after %v", len(pending), len(ids), timeout)
+			if lastErr != nil {
+				err = fmt.Errorf("%w (last poll error: %v)", err, lastErr)
+			}
+			return done, err
+		}
+		next := pending[:0]
+		for _, id := range pending {
+			st, err := c.Coflow(id)
+			if err != nil {
+				lastErr = err
+				logf("loadgen: polling coflow %d: %v (will retry)", id, err)
+				next = append(next, id)
+				continue
+			}
+			if st.Done {
+				done++
+			} else {
+				next = append(next, id)
+			}
+		}
+		pending = next
+		if len(pending) > 0 {
+			logf("loadgen: waiting for %d coflows to finish", len(pending))
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/online"
+	"coflowsched/internal/stats"
+)
+
+// Wire types. POST /v1/coflows takes a coflow.Coflow JSON object directly
+// (the same shape coflow instances serialize with), with per-flow "release"
+// fields interpreted as offsets from the admission time; everything below is
+// a response.
+
+// AdmitResponse acknowledges POST /v1/coflows.
+type AdmitResponse struct {
+	ID int `json:"id"`
+	// Name echoes the submitted coflow name.
+	Name string `json:"name,omitempty"`
+	// Arrival is the simulated admission time assigned by the server.
+	Arrival float64 `json:"arrival"`
+}
+
+// CoflowResponse is GET /v1/coflows/{id}: live status, CCT once done.
+type CoflowResponse struct {
+	ID             int     `json:"id"`
+	Name           string  `json:"name,omitempty"`
+	Weight         float64 `json:"weight"`
+	Arrival        float64 `json:"arrival"`
+	NumFlows       int     `json:"num_flows"`
+	FlowsDone      int     `json:"flows_done"`
+	TotalBytes     float64 `json:"total_bytes"`
+	RemainingBytes float64 `json:"remaining_bytes"`
+	Done           bool    `json:"done"`
+	// Completion is the absolute completion time; CCT the response time
+	// (completion - arrival); Slowdown the response over the coflow's
+	// isolated bottleneck time. Present once Done.
+	Completion *float64 `json:"completion,omitempty"`
+	CCT        *float64 `json:"cct,omitempty"`
+	Slowdown   *float64 `json:"slowdown,omitempty"`
+}
+
+// ScheduleEntry identifies one flow in the priority order.
+type ScheduleEntry struct {
+	Coflow int `json:"coflow"`
+	Flow   int `json:"flow"`
+}
+
+// ScheduleResponse is GET /v1/schedule: the applied priority order over
+// residual flows, highest priority first.
+type ScheduleResponse struct {
+	Now    float64         `json:"now"`
+	Policy string          `json:"policy"`
+	Order  []ScheduleEntry `json:"order"`
+}
+
+// StatsResponse is GET /v1/stats.
+type StatsResponse struct {
+	Now              float64 `json:"now"`
+	Policy           string  `json:"policy"`
+	EpochLength      float64 `json:"epoch_length"`
+	Epochs           int     `json:"epochs"`
+	Decisions        int     `json:"decisions"`
+	Admitted         int     `json:"admitted"`
+	Completed        int     `json:"completed"`
+	Active           int     `json:"active"`
+	ActiveFlows      int     `json:"active_flows"`
+	WeightedCCT      float64 `json:"weighted_cct"`
+	WeightedResponse float64 `json:"weighted_response"`
+	SlowdownP50      float64 `json:"slowdown_p50"`
+	SlowdownP95      float64 `json:"slowdown_p95"`
+	SlowdownP99      float64 `json:"slowdown_p99"`
+	SolveMsP50       float64 `json:"solve_ms_p50"`
+	SolveMsP95       float64 `json:"solve_ms_p95"`
+	SolveMsP99       float64 `json:"solve_ms_p99"`
+}
+
+// HealthResponse is GET /healthz.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	Policy   string  `json:"policy"`
+	Now      float64 `json:"now"`
+	Admitted int     `json:"admitted"`
+}
+
+// NetworkResponse is GET /v1/network: what a load generator needs to build
+// valid coflows — the topology's host node ids.
+type NetworkResponse struct {
+	Nodes int   `json:"nodes"`
+	Edges int   `json:"edges"`
+	Hosts []int `json:"hosts"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API with request accounting applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/coflows", s.handleAdmit)
+	mux.HandleFunc("GET /v1/coflows/{id}", s.handleCoflow)
+	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/network", s.handleNetwork)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.countRequests(mux)
+}
+
+// maxBodyBytes bounds POST bodies; the largest legitimate coflows are a few
+// thousand flows, well under this.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var cf coflow.Coflow
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cf); err != nil {
+		respondError(w, http.StatusBadRequest, "decoding coflow: "+err.Error())
+		return
+	}
+	var resp AdmitResponse
+	var admitErr error
+	err := s.do(func() {
+		if s.draining {
+			admitErr = errDraining
+			return
+		}
+		now := s.simNow()
+		id, err := s.eng.Admit(cf, now)
+		if err != nil {
+			admitErr = err
+			return
+		}
+		resp = AdmitResponse{ID: id, Name: cf.Name, Arrival: now}
+	})
+	switch {
+	case err != nil:
+		respondError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(admitErr, errDraining):
+		respondError(w, http.StatusServiceUnavailable, admitErr.Error())
+	case admitErr != nil:
+		respondError(w, http.StatusBadRequest, admitErr.Error())
+	default:
+		respondJSON(w, http.StatusCreated, resp)
+	}
+}
+
+func (s *Server) handleCoflow(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		respondError(w, http.StatusBadRequest, "invalid coflow id")
+		return
+	}
+	var st online.CoflowStatus
+	var found bool
+	if err := s.do(func() { st, found = s.eng.CoflowStatus(id) }); err != nil {
+		respondError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if !found {
+		respondError(w, http.StatusNotFound, "unknown coflow id")
+		return
+	}
+	resp := CoflowResponse{
+		ID:             st.ID,
+		Name:           st.Name,
+		Weight:         st.Weight,
+		Arrival:        st.Arrival,
+		NumFlows:       st.NumFlows,
+		FlowsDone:      st.FlowsDone,
+		TotalBytes:     st.TotalBytes,
+		RemainingBytes: st.RemainingBytes,
+		Done:           st.Done,
+	}
+	if st.Done {
+		completion, cct, slowdown := st.Completion, st.Response, st.Slowdown
+		resp.Completion, resp.CCT, resp.Slowdown = &completion, &cct, &slowdown
+	}
+	respondJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var resp ScheduleResponse
+	if err := s.do(func() {
+		resp.Now = s.eng.Now()
+		resp.Policy = s.cfg.Policy.Name()
+		for _, ref := range s.eng.Order() {
+			resp.Order = append(resp.Order, ScheduleEntry{Coflow: ref.Coflow, Flow: ref.Index})
+		}
+	}); err != nil {
+		respondError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if resp.Order == nil {
+		resp.Order = []ScheduleEntry{}
+	}
+	respondJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		respondError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	respondJSON(w, http.StatusOK, StatsResponse{
+		Now:              st.Now,
+		Policy:           s.cfg.Policy.Name(),
+		EpochLength:      s.cfg.EpochLength,
+		Epochs:           st.Epochs,
+		Decisions:        st.Decisions,
+		Admitted:         st.Admitted,
+		Completed:        st.Completed,
+		Active:           st.Active,
+		ActiveFlows:      st.ActiveFlows,
+		WeightedCCT:      st.WeightedCCT,
+		WeightedResponse: st.WeightedResponse,
+		SlowdownP50:      pct(st.Slowdowns, 50),
+		SlowdownP95:      pct(st.Slowdowns, 95),
+		SlowdownP99:      pct(st.Slowdowns, 99),
+		SolveMsP50:       pct(st.SolveLatencies, 50) * 1e3,
+		SolveMsP95:       pct(st.SolveLatencies, 95) * 1e3,
+		SolveMsP99:       pct(st.SolveLatencies, 99) * 1e3,
+	})
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	g := s.cfg.Network
+	resp := NetworkResponse{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for _, h := range g.Hosts() {
+		resp.Hosts = append(resp.Hosts, int(h))
+	}
+	respondJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var resp HealthResponse
+	if err := s.do(func() {
+		resp = HealthResponse{
+			Status:   "ok",
+			Policy:   s.cfg.Policy.Name(),
+			Now:      s.eng.Now(),
+			Admitted: s.eng.NumCoflows(),
+		}
+	}); err != nil {
+		respondError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	respondJSON(w, http.StatusOK, resp)
+}
+
+// pct keeps NaN out of JSON: encoding/json cannot marshal it.
+func pct(xs []float64, p float64) float64 { return stats.PercentileOr(xs, p, 0) }
+
+func respondJSON(w http.ResponseWriter, code int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func respondError(w http.ResponseWriter, code int, msg string) {
+	respondJSON(w, code, errorResponse{Error: msg})
+}

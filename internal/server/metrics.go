@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// metrics holds the request-level counters the scheduler goroutine never
+// sees; they are updated from handler goroutines with atomics.
+type metrics struct {
+	requests      atomic.Int64
+	requestErrors atomic.Int64
+}
+
+// statusRecorder captures the response code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// countRequests wraps the mux with request/error accounting for /metrics.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.requests.Add(1)
+		if rec.code >= 400 {
+			s.metrics.requestErrors.Add(1)
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus-style text exposition: one
+// `coflowd_*` gauge or counter per line. Only stdlib formatting — the repo
+// takes no dependencies — but the format is scrapeable.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		respondError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	var b strings.Builder
+	line := func(name string, v float64) {
+		fmt.Fprintf(&b, "%s %g\n", name, v)
+	}
+	line("coflowd_up", 1)
+	line("coflowd_sim_now", st.Now)
+	line("coflowd_epochs_total", float64(st.Epochs))
+	line("coflowd_decisions_total", float64(st.Decisions))
+	line("coflowd_coflows_admitted_total", float64(st.Admitted))
+	line("coflowd_coflows_completed_total", float64(st.Completed))
+	line("coflowd_coflows_active", float64(st.Active))
+	line("coflowd_flows_active", float64(st.ActiveFlows))
+	line("coflowd_weighted_cct", st.WeightedCCT)
+	line("coflowd_weighted_response", st.WeightedResponse)
+	line("coflowd_slowdown_p50", pct(st.Slowdowns, 50))
+	line("coflowd_slowdown_p95", pct(st.Slowdowns, 95))
+	line("coflowd_slowdown_p99", pct(st.Slowdowns, 99))
+	line("coflowd_solve_latency_seconds_p50", pct(st.SolveLatencies, 50))
+	line("coflowd_solve_latency_seconds_p95", pct(st.SolveLatencies, 95))
+	line("coflowd_solve_latency_seconds_p99", pct(st.SolveLatencies, 99))
+	line("coflowd_http_requests_total", float64(s.metrics.requests.Load()))
+	line("coflowd_http_request_errors_total", float64(s.metrics.requestErrors.Load()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

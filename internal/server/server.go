@@ -1,0 +1,266 @@
+// Package server wraps the incremental online scheduler (online.Engine) in a
+// long-running HTTP service, coflowd: coflows are admitted as they arrive
+// over POST /v1/coflows, a wall-clock-driven epoch loop re-prioritizes
+// residual flows with the configured policy, and JSON endpoints expose
+// per-coflow status, the current priority order and aggregate statistics.
+//
+// Concurrency model: a single scheduler goroutine owns the engine. HTTP
+// handlers never touch engine state directly — they submit closures over a
+// command channel and wait for the result, so every engine access is
+// serialized without locks. Policy decisions are the one deliberate
+// exception: each epoch tick captures an immutable residual Snapshot and
+// runs Decide on a separate goroutine, keeping the scheduler (and therefore
+// every handler) responsive while an expensive LP solve is in flight; the
+// resulting order returns through the command channel and is applied one
+// epoch late, exactly the staleness trade the batch engine's pipelining
+// makes.
+//
+// Time: the simulation clock advances with the wall clock, scaled by
+// Config.TimeScale simulated time units per wall second. Epoch boundaries
+// are wall-clock ticks of EpochLength/TimeScale seconds.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Network is the simulated topology coflows are scheduled on. Required.
+	Network *graph.Graph
+	// Policy re-prioritizes residual flows each epoch. Required; must not be
+	// a hindsight (Preparer) policy.
+	Policy online.Policy
+	// EpochLength is the simulated time between policy re-decisions
+	// (default 1).
+	EpochLength float64
+	// TimeScale is the number of simulated time units that elapse per
+	// wall-clock second (default 1). Raising it makes the simulated network
+	// run faster than real time, which load tests use to drain quickly.
+	TimeScale float64
+	// CandidatePaths bounds admission-time routing (default 4).
+	CandidatePaths int
+	// Logf, when non-nil, receives operational log lines (solver failures,
+	// drain progress). Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Network == nil {
+		return c, errors.New("server: config needs a network")
+	}
+	if c.Policy == nil {
+		return c, errors.New("server: config needs a policy")
+	}
+	// Zero means "use the default"; explicit negatives are caller bugs.
+	if c.EpochLength < 0 {
+		return c, fmt.Errorf("server: epoch length must be positive, got %v", c.EpochLength)
+	}
+	if c.TimeScale < 0 {
+		return c, fmt.Errorf("server: time scale must be positive, got %v", c.TimeScale)
+	}
+	if c.EpochLength == 0 {
+		c.EpochLength = 1
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// minWallEpoch floors the tick period so extreme TimeScale values cannot
+// turn the scheduler loop into a busy spin.
+const minWallEpoch = time.Millisecond
+
+// errStopped is returned by handler operations after Close.
+var errStopped = errors.New("server: scheduler stopped")
+
+// errDraining rejects admissions once shutdown has begun.
+var errDraining = errors.New("server: draining, not accepting new coflows")
+
+// Server is the coflowd service: an engine, the scheduler goroutine that
+// owns it, and the HTTP API in handlers.go.
+type Server struct {
+	cfg       Config
+	eng       *online.Engine
+	cmds      chan func()
+	quit      chan struct{}
+	stopped   chan struct{}
+	closeOnce sync.Once
+	start     time.Time
+	metrics   metrics
+
+	// Owned by the scheduler goroutine.
+	solving  bool
+	draining bool
+}
+
+// New builds and starts a server: the scheduler goroutine begins ticking
+// immediately. Callers must Close it (or Drain then Close).
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := online.NewEngine(cfg.Network, cfg.Policy, online.Config{
+		EpochLength:    cfg.EpochLength,
+		CandidatePaths: cfg.CandidatePaths,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     eng,
+		cmds:    make(chan func()),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		start:   time.Now(),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// simNow maps the wall clock onto the simulation clock.
+func (s *Server) simNow() float64 {
+	return time.Since(s.start).Seconds() * s.cfg.TimeScale
+}
+
+// wallEpoch is the wall-clock tick period of the epoch loop.
+func (s *Server) wallEpoch() time.Duration {
+	d := time.Duration(s.cfg.EpochLength / s.cfg.TimeScale * float64(time.Second))
+	if d < minWallEpoch {
+		d = minWallEpoch
+	}
+	return d
+}
+
+// loop is the scheduler goroutine: it serializes handler operations and
+// drives the epoch clock.
+func (s *Server) loop() {
+	defer close(s.stopped)
+	tick := time.NewTicker(s.wallEpoch())
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case op := <-s.cmds:
+			op()
+		case <-tick.C:
+			s.tick()
+		}
+	}
+}
+
+// tick advances the engine to the current simulated time and, if no solve is
+// in flight, kicks off the next asynchronous policy decision.
+func (s *Server) tick() {
+	if err := s.eng.AdvanceTo(s.simNow()); err != nil {
+		s.cfg.Logf("coflowd: advance: %v", err)
+		return
+	}
+	if s.solving || s.draining {
+		return
+	}
+	snap := s.eng.Snapshot()
+	if len(snap.Coflows) == 0 {
+		return
+	}
+	s.solving = true
+	policy := s.eng.Policy()
+	go func() {
+		t0 := time.Now()
+		order, err := policy.Decide(snap)
+		latency := time.Since(t0)
+		s.do(func() {
+			s.solving = false
+			if err != nil {
+				s.cfg.Logf("coflowd: %s decide (epoch %d): %v", policy.Name(), snap.Epoch, err)
+				return
+			}
+			if err := s.eng.ApplyOrder(order, latency); err != nil {
+				s.cfg.Logf("coflowd: apply order: %v", err)
+			}
+		})
+	}()
+}
+
+// do runs op on the scheduler goroutine and waits for it to finish. It
+// returns errStopped if the server shut down before the operation ran.
+func (s *Server) do(op func()) error {
+	done := make(chan struct{})
+	select {
+	case s.cmds <- func() { op(); close(done) }:
+	case <-s.stopped:
+		return errStopped
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.stopped:
+		// Shutdown raced the operation. If both channels were ready the
+		// select above picks arbitrarily, so check done once more: an op
+		// that DID run must not be reported as dropped (a 503 on an
+		// admission that actually happened would make clients double-admit
+		// on retry).
+		select {
+		case <-done:
+			return nil
+		default:
+			return errStopped
+		}
+	}
+}
+
+// Drain stops admitting new coflows and runs the engine to completion:
+// every in-flight coflow finishes (simulated time advances as far as
+// needed, decoupled from the wall clock). It returns the final statistics.
+// The HTTP listener should be shut down first so no admissions race the
+// drain; late admissions are rejected with 503 regardless.
+func (s *Server) Drain() (online.EngineStats, error) {
+	var st online.EngineStats
+	var derr error
+	err := s.do(func() {
+		s.draining = true
+		derr = s.eng.Drain()
+		st = s.eng.Stats()
+	})
+	if err != nil {
+		return st, err
+	}
+	return st, derr
+}
+
+// Close stops the scheduler goroutine. Safe to call more than once; after
+// Close every handler responds 503.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.stopped
+}
+
+// Stats fetches the engine's aggregate counters through the scheduler
+// goroutine.
+func (s *Server) Stats() (online.EngineStats, error) {
+	var st online.EngineStats
+	err := s.do(func() { st = s.eng.Stats() })
+	return st, err
+}
+
+// PolicyName names the configured policy.
+func (s *Server) PolicyName() string { return s.cfg.Policy.Name() }
+
+// String identifies the server configuration in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("coflowd(policy=%s epoch=%v timescale=%v)",
+		s.cfg.Policy.Name(), s.cfg.EpochLength, s.cfg.TimeScale)
+}

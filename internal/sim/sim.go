@@ -69,15 +69,22 @@ const timeTol = 1e-15
 
 // flowState is the simulator's working record for one flow.
 type flowState struct {
-	ref       coflow.FlowRef
-	path      graph.Path
-	release   float64
-	remaining float64
-	size      float64
-	rank      int // position in the priority order
-	schedule  *coflow.FlowSchedule
-	done      bool
+	ref        coflow.FlowRef
+	path       graph.Path
+	release    float64
+	remaining  float64
+	size       float64
+	rank       int // position in the priority order
+	schedule   *coflow.FlowSchedule
+	done       bool
+	completion float64 // time the flow finished (meaningful once done)
 }
+
+// admittedRank is the priority rank of flows added mid-run (Simulator.AddFlow)
+// before the next SetOrder: below every flow the current order lists, which
+// models newly arrived work waiting at the lowest priority until the next
+// re-ordering. math.MaxInt32 exceeds any real order length.
+const admittedRank = math.MaxInt32
 
 // eventHeap is a hand-rolled binary min-heap of pending event times. Keeping
 // it typed (no container/heap) avoids boxing every float64 through `any` on
@@ -133,6 +140,8 @@ type FlowStatus struct {
 	Size      float64
 	Remaining float64
 	Done      bool
+	// Completion is the simulation time the flow finished (0 until Done).
+	Completion float64
 }
 
 // Simulator is the resumable form of the flow-level simulator. Unlike Run it
@@ -236,17 +245,96 @@ func (s *Simulator) SetOrder(order []coflow.FlowRef) error {
 	return nil
 }
 
+// AddFlow registers a new flow with a running simulator, modelling online
+// admission: the flow joins the instance state and becomes active at its
+// release time. The reference must be unused, the release must not lie in
+// the simulator's past, and the path (the explicit argument, falling back to
+// f.Path) must connect the flow's endpoints. Until the next SetOrder the new
+// flow ranks below every existing flow — newly admitted work waits at the
+// lowest priority until the next re-ordering, exactly like flows omitted
+// from a partial order.
+func (s *Simulator) AddFlow(ref coflow.FlowRef, f coflow.Flow, path graph.Path) error {
+	if _, exists := s.states[ref]; exists {
+		return fmt.Errorf("sim: flow %s is already registered", ref)
+	}
+	if f.Size <= 0 || math.IsNaN(f.Size) || math.IsInf(f.Size, 0) {
+		return fmt.Errorf("sim: flow %s has invalid size %v", ref, f.Size)
+	}
+	if f.Release < s.now-timeTol {
+		return fmt.Errorf("sim: flow %s released at %v, in the past of the simulation clock %v", ref, f.Release, s.now)
+	}
+	if path == nil {
+		path = f.Path
+	}
+	if path == nil {
+		return fmt.Errorf("sim: flow %s has no path", ref)
+	}
+	if err := path.Validate(s.inst.Network, f.Source, f.Dest); err != nil {
+		return fmt.Errorf("sim: flow %s: %v", ref, err)
+	}
+	s.states[ref] = &flowState{
+		ref:       ref,
+		path:      path,
+		release:   f.Release,
+		remaining: f.Size,
+		size:      f.Size,
+		rank:      admittedRank,
+		schedule:  &coflow.FlowSchedule{Path: path},
+	}
+	s.eq.Push(f.Release)
+	return nil
+}
+
+// Forget removes a finished flow's state from the simulator, bounding the
+// cost of a long-running simulation: every per-event and per-step scan
+// (active-flow selection, Done, Residuals) iterates only the flows still
+// registered. Only done flows may be forgotten, and their transcript
+// segments are discarded with them — callers that still need Schedule()
+// for the flow must capture it first. The online serving engine forgets a
+// coflow's flows once the coflow's completion has been recorded.
+func (s *Simulator) Forget(ref coflow.FlowRef) error {
+	st, ok := s.states[ref]
+	if !ok {
+		return fmt.Errorf("sim: cannot forget unknown flow %s", ref)
+	}
+	if !st.done {
+		return fmt.Errorf("sim: cannot forget unfinished flow %s", ref)
+	}
+	delete(s.states, ref)
+	return nil
+}
+
+// Status reports the residual state of a single flow, or false if the
+// reference is unknown. Unlike Residuals it is O(1), suitable for per-flow
+// status queries between steps.
+func (s *Simulator) Status(ref coflow.FlowRef) (FlowStatus, bool) {
+	st, ok := s.states[ref]
+	if !ok {
+		return FlowStatus{}, false
+	}
+	return FlowStatus{
+		Ref:        st.ref,
+		Path:       st.path,
+		Release:    st.release,
+		Size:       st.size,
+		Remaining:  st.remaining,
+		Done:       st.done,
+		Completion: st.completion,
+	}, true
+}
+
 // Residuals reports the per-flow residual state, sorted by flow reference.
 func (s *Simulator) Residuals() []FlowStatus {
 	out := make([]FlowStatus, 0, len(s.states))
 	for _, st := range s.states {
 		out = append(out, FlowStatus{
-			Ref:       st.ref,
-			Path:      st.path,
-			Release:   st.release,
-			Size:      st.size,
-			Remaining: st.remaining,
-			Done:      st.done,
+			Ref:        st.ref,
+			Path:       st.path,
+			Release:    st.release,
+			Size:       st.size,
+			Remaining:  st.remaining,
+			Done:       st.done,
+			Completion: st.completion,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -335,6 +423,7 @@ func (s *Simulator) RunUntil(until float64) error {
 				if st.remaining <= completionTol*st.size {
 					st.remaining = 0
 					st.done = true
+					st.completion = next
 				}
 			}
 		}

@@ -46,15 +46,20 @@ func StdErr(xs []float64) float64 {
 	return StdDev(xs) / math.Sqrt(float64(len(xs)))
 }
 
-// Median returns the median of xs (0 for an empty slice).
+// Median returns the median of xs, or NaN for an empty slice — an empty
+// sample has no median, and a silent 0 would read as a real (and
+// suspiciously good) latency or slowdown.
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between order statistics (0 for an empty slice). Used for
-// the online scheduler's slowdown and solve-latency tails.
+// interpolation between order statistics. Used for the online scheduler's
+// slowdown and solve-latency tails. An empty slice has no order statistics:
+// the result is NaN, which callers must not mistake for a measurement (and
+// which encoding/json refuses to serialize, so it cannot silently leak into
+// machine-readable output).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -72,6 +77,16 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// PercentileOr returns Percentile(xs, p), or fallback when xs is empty.
+// Reporting paths use it to keep the empty-input NaN out of JSON (which
+// cannot encode it) and CSV.
+func PercentileOr(xs []float64, p, fallback float64) float64 {
+	if len(xs) == 0 {
+		return fallback
+	}
+	return Percentile(xs, p)
 }
 
 // Ratio returns a/b, or 0 when b is 0.

@@ -23,8 +23,8 @@ func TestMeanStdMedian(t *testing.T) {
 	if Median([]float64{3, 1, 2}) != 2 {
 		t.Errorf("odd Median wrong")
 	}
-	if Mean(nil) != 0 || StdDev(nil) != 0 || StdErr(nil) != 0 || Median(nil) != 0 {
-		t.Errorf("empty-slice helpers should return 0")
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdErr(nil) != 0 {
+		t.Errorf("empty-slice aggregates should return 0")
 	}
 	if StdDev([]float64{5}) != 0 {
 		t.Errorf("single-sample StdDev should be 0")
@@ -96,10 +96,48 @@ func TestPercentile(t *testing.T) {
 			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
 		}
 	}
-	if got := Percentile(nil, 50); got != 0 {
-		t.Errorf("Percentile(empty) = %v, want 0", got)
-	}
 	if got := Percentile([]float64{7}, 99); got != 7 {
 		t.Errorf("Percentile(single, 99) = %v, want 7", got)
+	}
+}
+
+// TestPercentileMedianEmpty pins the empty-input contract: order statistics
+// of an empty sample do not exist, so the result is NaN rather than a silent
+// 0 that could be mistaken for a measured value.
+func TestPercentileMedianEmpty(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+	}{
+		{"Percentile(nil, 50)", Percentile(nil, 50)},
+		{"Percentile(nil, 0)", Percentile(nil, 0)},
+		{"Percentile(nil, 100)", Percentile(nil, 100)},
+		{"Percentile(empty, 95)", Percentile([]float64{}, 95)},
+		{"Median(nil)", Median(nil)},
+		{"Median(empty)", Median([]float64{})},
+	}
+	for _, c := range cases {
+		if !math.IsNaN(c.got) {
+			t.Errorf("%s = %v, want NaN", c.name, c.got)
+		}
+	}
+	if got := PercentileOr(nil, 95, 0); got != 0 {
+		t.Errorf("PercentileOr(nil) = %v, want fallback 0", got)
+	}
+	if got := PercentileOr([]float64{4}, 95, 0); got != 4 {
+		t.Errorf("PercentileOr(single) = %v, want 4", got)
+	}
+	// Non-empty inputs keep returning real numbers.
+	for _, c := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Percentile(single, 50)", Percentile([]float64{3}, 50), 3},
+		{"Median(pair)", Median([]float64{1, 3}), 2},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
 	}
 }
