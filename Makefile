@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet fmt bench bench-sim
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench smoke-runs every benchmark once, mirroring the CI job that keeps
+# benchmarks from rotting.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-sim appends the simulator hot-path trajectory to BENCH_sim.json.
+# Pass LABEL=... to tag the snapshot (defaults to the current commit); see
+# the Performance section of EXPERIMENTS.md for the methodology.
+bench-sim:
+	scripts/bench_sim.sh $(LABEL)

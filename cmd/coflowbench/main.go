@@ -2,9 +2,11 @@
 //
 // Usage:
 //
-//	coflowbench -experiment all            # Figure 1, Table 1, Figures 3-4, ablations
+//	coflowbench -experiment all            # Figure 1, Table 1, Figures 3-4, ablations, online, sim
 //	coflowbench -experiment fig3 -trials 5 # just Figure 3, 5 trials per point
 //	coflowbench -experiment fig3 -paper    # the paper's 128-server configuration (slow)
+//	coflowbench -experiment sim -json      # simulator hot-path micro-suite (incremental vs naive)
+//	coflowbench -experiment sim -cpuprofile sim.prof  # profile the hot path for regression diagnosis
 //
 // Output is plain text: one absolute-value table and one ratio-to-baseline
 // table per figure (the two panels of the paper's Figures 3 and 4), plus the
@@ -20,15 +22,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 
 	"coflowsched/internal/experiments"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, all")
+		experiment = flag.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, sim, all")
 		paper      = flag.Bool("paper", false, "use the paper's full-scale configuration (128-server fat-tree, slow)")
 		fatK       = flag.Int("fatk", 0, "fat-tree arity k (overrides the configuration; k=8 is the paper's 128 servers)")
 		trials     = flag.Int("trials", 0, "trials per data point (override)")
@@ -40,8 +45,42 @@ func main() {
 		candidates = flag.Int("paths", 0, "candidate paths per flow for the LP (override)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables for fig3/fig4")
 		jsonOut    = flag.Bool("json", false, "emit one JSON result object per experiment")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) covering the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) taken after the selected experiments to this file")
+		noref      = flag.Bool("noref", false, "skip the naive reference allocator in -experiment sim (fast mode for large scales)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		stopCPU := func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "coflowbench: cpuprofile:", err)
+			}
+		}
+		flushProfiles = append(flushProfiles, stopCPU)
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		flushProfiles = append(flushProfiles, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coflowbench: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coflowbench: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "coflowbench: memprofile:", err)
+			}
+		})
+	}
+	defer finishProfiles()
 
 	cfg := experiments.DefaultConfig()
 	if *paper {
@@ -148,14 +187,37 @@ func main() {
 			default:
 				fmt.Println(res)
 			}
+		case "sim":
+			scfg := experiments.DefaultSimSuiteConfig()
+			if *seed != 0 {
+				scfg.Seed = *seed
+			}
+			if *trials > 0 {
+				scfg.Trials = *trials
+			}
+			if *fatK > 0 {
+				scfg.FatK = *fatK
+			}
+			if *noref {
+				scfg.Reference = false
+			}
+			res, err := experiments.SimSuite(scfg)
+			exitOn(err)
+			if *jsonOut {
+				emitJSON(name, scfg, res)
+				return
+			}
+			fmt.Println("Simulator micro-suite: priority-policy Run, incremental vs naive reference")
+			fmt.Print(res)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			finishProfiles()
 			os.Exit(2)
 		}
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online"} {
+		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online", "sim"} {
 			if !*jsonOut {
 				fmt.Printf("=== %s ===\n", name)
 			}
@@ -205,9 +267,27 @@ func parseInts(s string) []int {
 	return out
 }
 
+// flushProfiles holds the finalizers for any active pprof outputs. They run
+// both on the normal return path (deferred in main) and before error exits —
+// os.Exit skips defers, and a truncated CPU profile is useless in exactly
+// the failure-diagnosis scenario the flags exist for.
+var (
+	flushProfiles []func()
+	flushOnce     sync.Once
+)
+
+func finishProfiles() {
+	flushOnce.Do(func() {
+		for _, f := range flushProfiles {
+			f()
+		}
+	})
+}
+
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coflowbench:", err)
+		finishProfiles()
 		os.Exit(1)
 	}
 }

@@ -12,16 +12,17 @@ type PathLoad struct {
 // "length" Γ of Varys-style SEBF ordering, shared by the offline SEBF
 // baseline, the online residual SEBF policy and the online slowdown metric.
 func (g *Graph) BottleneckTime(loads []PathLoad) float64 {
-	load := make(map[EdgeID]float64)
+	// Dense accumulation: edge ids are small consecutive integers, so a flat
+	// slice beats a hash map on this hot path (one call per coflow per epoch
+	// in the online SEBF policy).
+	load := make([]float64, len(g.edges))
+	max := 0.0
 	for _, pl := range loads {
 		for _, e := range pl.Path {
-			load[e] += pl.Volume / g.Capacity(e)
-		}
-	}
-	max := 0.0
-	for _, l := range load {
-		if l > max {
-			max = l
+			load[e] += pl.Volume / g.edges[e].Capacity
+			if load[e] > max {
+				max = load[e]
+			}
 		}
 	}
 	return max

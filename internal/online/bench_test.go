@@ -2,8 +2,10 @@ package online
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
+	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
 	"coflowsched/internal/workload"
 )
@@ -28,3 +30,60 @@ func benchRun(b *testing.B, p Policy) {
 func BenchmarkOnlineFIFO(b *testing.B)    { benchRun(b, FIFOOnline{}) }
 func BenchmarkOnlineSEBF(b *testing.B)    { benchRun(b, SEBFOnline{}) }
 func BenchmarkOnlineLPEpoch(b *testing.B) { benchRun(b, LPEpoch{}) }
+
+// BenchmarkEngineTick is the acceptance benchmark for the incremental tick
+// path: a long-running engine admitting a Poisson stream of coflows and
+// advancing epoch by epoch (decide + advance, the coflowd scheduler loop),
+// measured over the whole stream's lifetime.
+func BenchmarkEngineTick(b *testing.B) {
+	g := graph.FatTree(4, 1)
+	rng := rand.New(rand.NewSource(7))
+	inst, arrivals, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+		Config: workload.Config{NumCoflows: 150, Width: 4, MeanSize: 4, MeanWeight: 1},
+		Rate:   2.0,
+	}, rng)
+	if err != nil {
+		b.Fatalf("generate: %v", err)
+	}
+	order := make([]int, len(arrivals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return arrivals[order[x]] < arrivals[order[y]] })
+	// Pre-strip the wire-shaped coflows outside the timed loop.
+	wire := make([]coflow.Coflow, len(order))
+	for i, id := range order {
+		cf := inst.Coflows[id]
+		out := coflow.Coflow{Name: cf.Name, Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+		copy(out.Flows, cf.Flows)
+		for j := range out.Flows {
+			out.Flows[j].Release -= arrivals[id]
+			out.Flows[j].Path = nil
+		}
+		wire[i] = out
+	}
+	const epoch = 1.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(g, SEBFOnline{}, Config{EpochLength: epoch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		next := 0
+		for now := 0.0; !eng.Done() || next < len(order); now += epoch {
+			for next < len(order) && arrivals[order[next]] <= now+epoch {
+				if _, err := eng.Admit(wire[next], arrivals[order[next]]); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+			if err := eng.DecideSync(); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.AdvanceTo(now + epoch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

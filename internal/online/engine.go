@@ -377,6 +377,12 @@ func routeFlow(g *graph.Graph, load []float64, f *coflow.Flow, candidatePaths in
 	} else {
 		cands = g.KShortestPaths(f.Source, f.Dest, candidatePaths)
 	}
+	return pickPath(g, load, f, cands)
+}
+
+// pickPath is routeFlow's selection step over an explicit candidate set (the
+// incremental Engine supplies memoized candidates).
+func pickPath(g *graph.Graph, load []float64, f *coflow.Flow, cands []graph.Path) (graph.Path, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("no path from %d to %d", f.Source, f.Dest)
 	}

@@ -52,10 +52,15 @@ type Engine struct {
 	active []int
 
 	// load accumulates admitted volume per edge for causal path selection.
-	load  []float64
-	now   float64
-	epoch int
-	order []coflow.FlowRef
+	load []float64
+	// pathCache memoizes the K-shortest candidate paths per endpoint pair:
+	// the network is immutable, so a long-running daemon computes each pair's
+	// candidates at most once instead of re-running Yen's algorithm on every
+	// admission.
+	pathCache map[pathKey][]graph.Path
+	now       float64
+	epoch     int
+	order     []coflow.FlowRef
 
 	// Aggregates surfaced by Stats.
 	completedCoflows int
@@ -157,12 +162,32 @@ func NewEngine(g *graph.Graph, policy Policy, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		cfg:    cfg,
-		policy: policy,
-		inst:   inst,
-		sim:    s,
-		load:   make([]float64, g.NumEdges()),
+		cfg:       cfg,
+		policy:    policy,
+		inst:      inst,
+		sim:       s,
+		load:      make([]float64, g.NumEdges()),
+		pathCache: make(map[pathKey][]graph.Path),
 	}, nil
+}
+
+// pathKey identifies an endpoint pair in the candidate-path cache.
+type pathKey struct{ src, dst graph.NodeID }
+
+// candidatePaths returns the admission router's candidate set for one flow:
+// its pre-assigned path if any, otherwise the K shortest paths between its
+// endpoints, memoized per pair.
+func (e *Engine) candidatePaths(f *coflow.Flow) []graph.Path {
+	if f.Path != nil {
+		return []graph.Path{f.Path}
+	}
+	key := pathKey{src: f.Source, dst: f.Dest}
+	if cands, ok := e.pathCache[key]; ok {
+		return cands
+	}
+	cands := e.inst.Network.KShortestPaths(f.Source, f.Dest, e.cfg.CandidatePaths)
+	e.pathCache[key] = cands
+	return cands
 }
 
 // Policy returns the engine's policy. Decide may be called on it from any
@@ -237,7 +262,7 @@ func (e *Engine) Admit(cf coflow.Coflow, now float64) (int, error) {
 		if offset < 0 {
 			offset = 0
 		}
-		path, err := routeFlow(e.inst.Network, e.load, &f, e.cfg.CandidatePaths)
+		path, err := pickPath(e.inst.Network, e.load, &f, e.candidatePaths(&f))
 		if err != nil {
 			e.load = loadBefore
 			return 0, fmt.Errorf("online: flow %d: %w", j, err)
@@ -371,35 +396,28 @@ func (e *Engine) AdvanceTo(to float64) error {
 	return nil
 }
 
-// collectCompletions re-scans the active coflows after an advance, closes
-// out those whose last flow completed, and prunes their flow state from the
-// simulator so neither the engine nor the simulator ever iterates finished
-// work again.
+// collectCompletions drains the simulator's completion log after an advance,
+// closes out coflows whose last flow completed, and prunes their flow state
+// from the simulator so neither the engine nor the simulator ever iterates
+// finished work again. Cost is O(completions since the last advance) — the
+// incremental tick path — instead of a re-scan of every active flow.
 func (e *Engine) collectCompletions() {
-	stillActive := e.active[:0]
-	activeFlows := 0
-	for _, id := range e.active {
-		cf := &e.inst.Coflows[id]
-		done := 0
-		for j := range cf.Flows {
-			fs, ok := e.sim.Status(coflow.FlowRef{Coflow: id, Index: j})
-			if !ok {
-				done++ // already pruned (cannot happen for an active coflow)
-				continue
-			}
-			if fs.Done {
-				done++
-				if fs.Completion > e.completion[id] {
-					e.completion[id] = fs.Completion
-				}
-			}
+	events := e.sim.TakeCompletions()
+	if len(events) == 0 {
+		return
+	}
+	closed := false
+	for _, ev := range events {
+		id := ev.Ref.Coflow
+		if ev.Time > e.completion[id] {
+			e.completion[id] = ev.Time
 		}
-		e.flowsLeft[id] = len(cf.Flows) - done
+		e.flowsLeft[id]--
+		e.doneFlows++
 		if e.flowsLeft[id] > 0 {
-			stillActive = append(stillActive, id)
-			activeFlows += e.flowsLeft[id]
 			continue
 		}
+		cf := &e.inst.Coflows[id]
 		e.completedCoflows++
 		response := e.completion[id] - e.arrivals[id]
 		e.weightedCCT += cf.Weight * e.completion[id]
@@ -412,9 +430,17 @@ func (e *Engine) collectCompletions() {
 			// a completed coflow is done by construction.
 			_ = e.sim.Forget(coflow.FlowRef{Coflow: id, Index: j})
 		}
+		closed = true
 	}
-	e.active = stillActive
-	e.doneFlows = e.totalFlows - activeFlows
+	if closed {
+		stillActive := e.active[:0]
+		for _, id := range e.active {
+			if e.flowsLeft[id] > 0 {
+				stillActive = append(stillActive, id)
+			}
+		}
+		e.active = stillActive
+	}
 }
 
 // CoflowStatus reports the current state of one admitted coflow.

@@ -41,7 +41,7 @@ func (s *Server) countRequests(next http.Handler) http.Handler {
 // `coflowd_*` gauge or counter per line. Only stdlib formatting — the repo
 // takes no dependencies — but the format is scrapeable.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st, err := s.Stats()
+	st, ticks, err := s.metricsSnapshot()
 	if err != nil {
 		respondError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -66,6 +66,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	line("coflowd_solve_latency_seconds_p50", pct(st.SolveLatencies, 50))
 	line("coflowd_solve_latency_seconds_p95", pct(st.SolveLatencies, 95))
 	line("coflowd_solve_latency_seconds_p99", pct(st.SolveLatencies, 99))
+	line("coflowd_tick_seconds_p50", pct(ticks, 50))
+	line("coflowd_tick_seconds_p95", pct(ticks, 95))
+	line("coflowd_tick_seconds_p99", pct(ticks, 99))
 	line("coflowd_http_requests_total", float64(s.metrics.requests.Load()))
 	line("coflowd_http_request_errors_total", float64(s.metrics.requestErrors.Load()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -102,6 +102,26 @@ type Server struct {
 	// Owned by the scheduler goroutine.
 	solving  bool
 	draining bool
+	// tickDurs is a bounded reservoir of recent AdvanceTo wall-clock
+	// durations in seconds, the source of the /metrics per-tick timing
+	// percentiles.
+	tickDurs []float64
+	tickNext int
+}
+
+// tickWindow bounds the per-tick timing reservoir: percentiles reflect the
+// most recent window, not the daemon's whole lifetime.
+const tickWindow = 2048
+
+// recordTick stores one tick's simulation-advance duration. Scheduler
+// goroutine only.
+func (s *Server) recordTick(d time.Duration) {
+	if len(s.tickDurs) < tickWindow {
+		s.tickDurs = append(s.tickDurs, d.Seconds())
+		return
+	}
+	s.tickDurs[s.tickNext] = d.Seconds()
+	s.tickNext = (s.tickNext + 1) % tickWindow
 }
 
 // New builds and starts a server: the scheduler goroutine begins ticking
@@ -165,7 +185,10 @@ func (s *Server) loop() {
 // tick advances the engine to the current simulated time and, if no solve is
 // in flight, kicks off the next asynchronous policy decision.
 func (s *Server) tick() {
-	if err := s.eng.AdvanceTo(s.simNow()); err != nil {
+	t0 := time.Now()
+	err := s.eng.AdvanceTo(s.simNow())
+	s.recordTick(time.Since(t0))
+	if err != nil {
 		s.cfg.Logf("coflowd: advance: %v", err)
 		return
 	}
@@ -254,6 +277,18 @@ func (s *Server) Stats() (online.EngineStats, error) {
 	var st online.EngineStats
 	err := s.do(func() { st = s.eng.Stats() })
 	return st, err
+}
+
+// metricsSnapshot fetches the engine statistics together with the
+// server-side per-tick timing reservoir, in one scheduler round trip.
+func (s *Server) metricsSnapshot() (online.EngineStats, []float64, error) {
+	var st online.EngineStats
+	var ticks []float64
+	err := s.do(func() {
+		st = s.eng.Stats()
+		ticks = append([]float64(nil), s.tickDurs...)
+	})
+	return st, ticks, err
 }
 
 // PolicyName names the configured policy.

@@ -156,6 +156,7 @@ func TestHealthNetworkStatsMetrics(t *testing.T) {
 		"coflowd_coflows_admitted_total 1",
 		"coflowd_http_requests_total",
 		"coflowd_solve_latency_seconds_p95",
+		"coflowd_tick_seconds_p95",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, body)

@@ -171,22 +171,111 @@ func TestPartialOrder(t *testing.T) {
 	}
 }
 
-// TestEventHeap exercises the typed min-heap directly.
-func TestEventHeap(t *testing.T) {
-	var h eventHeap
-	in := []float64{5, 1, 4, 1.5, 9, 0.25, 7}
-	for _, v := range in {
-		h.Push(v)
+// TestReleaseHeap exercises the typed release min-heap directly: ordering by
+// (time, reference) and batch-draining of equal release times, which is how
+// the event loop guarantees no event time is processed twice even though
+// many flows may share it.
+func TestReleaseHeap(t *testing.T) {
+	var h releaseHeap
+	mk := func(t float64, cf, idx int) *flowState {
+		return &flowState{ref: coflow.FlowRef{Coflow: cf, Index: idx}, release: t}
 	}
+	in := []*flowState{mk(5, 0, 0), mk(1, 2, 0), mk(1, 0, 1), mk(1, 0, 0), mk(9, 1, 0), mk(0.25, 3, 3), mk(1, 1, 2)}
+	for _, st := range in {
+		h.Push(st)
+	}
+	var got []*flowState
 	prev := math.Inf(-1)
 	for h.Len() > 0 {
-		if p := h.Peek(); p != h.ts[0] {
+		if h.Peek().release != h.PeekTime() {
 			t.Fatalf("peek mismatch")
 		}
-		v := h.Pop()
-		if v < prev {
-			t.Fatalf("heap popped %v after %v", v, prev)
+		st := h.Pop()
+		if st.release < prev {
+			t.Fatalf("heap popped %v after %v", st.release, prev)
 		}
-		prev = v
+		prev = st.release
+		got = append(got, st)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("popped %d entries, pushed %d", len(got), len(in))
+	}
+	// The four equal-time entries must come out contiguously in reference
+	// order, ready to drain as one event batch.
+	wantRefs := []coflow.FlowRef{{Coflow: 0, Index: 0}, {Coflow: 0, Index: 1}, {Coflow: 1, Index: 2}, {Coflow: 2, Index: 0}}
+	for i, want := range wantRefs {
+		if got[1+i].ref != want {
+			t.Errorf("equal-time pop %d = %v, want %v", i, got[1+i].ref, want)
+		}
+	}
+}
+
+// TestReferenceEventHeapDedup checks the reference simulator's event heap
+// drops duplicate-time pushes on Pop — the fix for the old design where New
+// deduped release times through a fragile map[float64]bool and AddFlow could
+// still enqueue duplicates.
+func TestReferenceEventHeapDedup(t *testing.T) {
+	var h refEventHeap
+	for _, v := range []float64{3, 1, 3, 1, 1, 2, 3, 0.5} {
+		h.Push(v)
+	}
+	var got []float64
+	for h.Len() > 0 {
+		got = append(got, h.Pop())
+	}
+	want := []float64{0.5, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDuplicateReleaseTimesSimulate checks end-to-end that many flows
+// sharing one release time (plus an AddFlow duplicating an existing event
+// time) simulate correctly: one event batch, every flow served.
+func TestDuplicateReleaseTimesSimulate(t *testing.T) {
+	g := graph.Star(5, 1)
+	h := g.Hosts()
+	inst := &coflow.Instance{Network: g}
+	for i := 1; i < len(h); i++ {
+		inst.Coflows = append(inst.Coflows, coflow.Coflow{
+			Name: "dup", Weight: 1,
+			Flows: []coflow.Flow{{Source: h[i], Dest: h[0], Size: 2, Release: 3}},
+		})
+	}
+	if err := inst.AssignShortestPaths(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(inst, Config{Order: inst.FlowRefs(), Policy: Priority})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	// Admit one more flow at the exact same release time mid-setup.
+	add := coflow.Flow{Source: h[0], Dest: h[1], Size: 1, Release: 3}
+	ref := coflow.FlowRef{Coflow: len(inst.Coflows), Index: 0}
+	if err := s.AddFlow(ref, add, g.ShortestPath(h[0], h[1])); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if err := s.RunUntil(math.Inf(1)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Shared link into h0 serializes the four size-2 flows: 5, 7, 9, 11.
+	// The added flow runs on the disjoint h0->h1 direction: 3 + 1.
+	wantTimes := []float64{5, 7, 9, 11}
+	for i, want := range wantTimes {
+		fs, ok := s.Status(coflow.FlowRef{Coflow: i, Index: 0})
+		if !ok || !fs.Done {
+			t.Fatalf("flow %d not done", i)
+		}
+		if math.Abs(fs.Completion-want) > 1e-9 {
+			t.Errorf("flow %d completed at %v, want %v", i, fs.Completion, want)
+		}
+	}
+	if fs, _ := s.Status(ref); math.Abs(fs.Completion-4) > 1e-9 {
+		t.Errorf("added flow completed at %v, want 4", fs.Completion)
 	}
 }

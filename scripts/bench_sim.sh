@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Records the simulator benchmark trajectory into BENCH_sim.json (JSON Lines).
+#
+# Usage: scripts/bench_sim.sh [label]
+#
+# Each invocation appends:
+#   - one object per `go test -bench` result of the simulator / online-engine
+#     hot-path benchmarks (ns/op, B/op, allocs/op), and
+#   - the coflowbench `-experiment sim -json` result: incremental vs naive
+#     reference wall times on identical instances, with the objective
+#     equivalence check built in.
+#
+# The label tags the snapshot (defaults to the current commit); BENCHTIME
+# overrides the go-bench iteration count (default 5x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+benchtime="${BENCHTIME:-5x}"
+out="BENCH_sim.json"
+
+go test -run=NONE -bench='BenchmarkRun|BenchmarkEngineTick' -benchmem \
+  -benchtime="$benchtime" ./internal/sim/ ./internal/online/ |
+  awk -v label="$label" '
+    /^Benchmark/ {
+      name=$1; sub(/-[0-9]+$/, "", name)
+      printf("{\"experiment\":\"gobench\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n",
+             label, name, $3, $5, $7)
+    }' >>"$out"
+
+go run ./cmd/coflowbench -experiment sim -json |
+  sed "s/^{/{\"label\":\"$label\",/" >>"$out"
+
+echo "bench_sim: appended snapshot \"$label\" to $out" >&2
