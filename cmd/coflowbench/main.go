@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	coflowbench -experiment all            # Figure 1, Table 1, Figures 3-4, ablations, online, sim
+//	coflowbench -experiment all            # Figure 1, Table 1, Figures 3-4, ablations, online, sim, scenarios
 //	coflowbench -experiment fig3 -trials 5 # just Figure 3, 5 trials per point
 //	coflowbench -experiment fig3 -paper    # the paper's 128-server configuration (slow)
 //	coflowbench -experiment sim -json      # simulator hot-path micro-suite (incremental vs naive)
 //	coflowbench -experiment sim -cpuprofile sim.prof  # profile the hot path for regression diagnosis
+//	coflowbench -scenario all              # every registered workload scenario x online policy
+//	coflowbench -scenario heavy-tail -json # one scenario, machine-readable
 //
 // Output is plain text: one absolute-value table and one ratio-to-baseline
 // table per figure (the two panels of the paper's Figures 3 and 4), plus the
@@ -21,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,55 +35,90 @@ import (
 )
 
 func main() {
-	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, sim, all")
-		paper      = flag.Bool("paper", false, "use the paper's full-scale configuration (128-server fat-tree, slow)")
-		fatK       = flag.Int("fatk", 0, "fat-tree arity k (overrides the configuration; k=8 is the paper's 128 servers)")
-		trials     = flag.Int("trials", 0, "trials per data point (override)")
-		seed       = flag.Int64("seed", 0, "random seed (override)")
-		coflows    = flag.Int("coflows", 0, "number of coflows for the width sweep (override)")
-		widths     = flag.String("widths", "", "comma-separated coflow widths for fig3 (override)")
-		counts     = flag.String("counts", "", "comma-separated coflow counts for fig4 (override)")
-		width      = flag.Int("width", 0, "fixed coflow width for fig4 (override)")
-		candidates = flag.Int("paths", 0, "candidate paths per flow for the LP (override)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of text tables for fig3/fig4")
-		jsonOut    = flag.Bool("json", false, "emit one JSON result object per experiment")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) covering the selected experiments to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) taken after the selected experiments to this file")
-		noref      = flag.Bool("noref", false, "skip the naive reference allocator in -experiment sim (fast mode for large scales)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "coflowbench:", err)
+		os.Exit(1)
+	}
+}
 
+// profileFlusher collects the finalizers for active pprof outputs. They run
+// on every exit path from run — a truncated CPU profile is useless in exactly
+// the failure-diagnosis scenario the flags exist for.
+type profileFlusher struct {
+	fns  []func()
+	once sync.Once
+}
+
+func (p *profileFlusher) finish() {
+	p.once.Do(func() {
+		for _, f := range p.fns {
+			f()
+		}
+	})
+}
+
+// run is main with injectable arguments and streams (smoke-testable without
+// exec'ing a binary).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coflowbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, sim, scenarios, all")
+		scenario   = fs.String("scenario", "", "run the scenario sweep for one registered scenario (or \"all\"); overrides -experiment")
+		paper      = fs.Bool("paper", false, "use the paper's full-scale configuration (128-server fat-tree, slow)")
+		fatK       = fs.Int("fatk", 0, "fat-tree arity k (overrides the configuration; k=8 is the paper's 128 servers)")
+		trials     = fs.Int("trials", 0, "trials per data point (override)")
+		seed       = fs.Int64("seed", 0, "random seed (override)")
+		coflows    = fs.Int("coflows", 0, "number of coflows for the width sweep (override)")
+		widths     = fs.String("widths", "", "comma-separated coflow widths for fig3 (override)")
+		counts     = fs.String("counts", "", "comma-separated coflow counts for fig4 (override)")
+		width      = fs.Int("width", 0, "fixed coflow width for fig4 (override)")
+		candidates = fs.Int("paths", 0, "candidate paths per flow for the LP (override)")
+		csv        = fs.Bool("csv", false, "emit CSV instead of text tables for fig3/fig4")
+		jsonOut    = fs.Bool("json", false, "emit one JSON result object per experiment")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile (pprof) covering the selected experiments to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile (pprof) taken after the selected experiments to this file")
+		noref      = fs.Bool("noref", false, "skip the naive reference allocator in -experiment sim (fast mode for large scales)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profiles := &profileFlusher{}
+	defer profiles.finish()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
-		exitOn(err)
-		exitOn(pprof.StartCPUProfile(f))
-		stopCPU := func() {
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		profiles.fns = append(profiles.fns, func() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "coflowbench: cpuprofile:", err)
+				fmt.Fprintln(stderr, "coflowbench: cpuprofile:", err)
 			}
-		}
-		flushProfiles = append(flushProfiles, stopCPU)
+		})
 	}
 	if *memprofile != "" {
 		path := *memprofile
-		flushProfiles = append(flushProfiles, func() {
+		profiles.fns = append(profiles.fns, func() {
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "coflowbench: memprofile:", err)
+				fmt.Fprintln(stderr, "coflowbench: memprofile:", err)
 				return
 			}
 			runtime.GC() // settle allocations so the heap profile reflects live data
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "coflowbench: memprofile:", err)
+				fmt.Fprintln(stderr, "coflowbench: memprofile:", err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "coflowbench: memprofile:", err)
+				fmt.Fprintln(stderr, "coflowbench: memprofile:", err)
 			}
 		})
 	}
-	defer finishProfiles()
 
 	cfg := experiments.DefaultConfig()
 	if *paper {
@@ -105,57 +143,105 @@ func main() {
 		cfg.CandidatePaths = *candidates
 	}
 	if *widths != "" {
-		cfg.Widths = parseInts(*widths)
+		ws, err := parseInts(*widths)
+		if err != nil {
+			return err
+		}
+		cfg.Widths = ws
 	}
 	if *counts != "" {
-		cfg.CoflowCounts = parseInts(*counts)
+		cs, err := parseInts(*counts)
+		if err != nil {
+			return err
+		}
+		cfg.CoflowCounts = cs
 	}
 
-	run := func(name string) {
+	emitJSON := func(name string, config, result any) error {
+		enc := json.NewEncoder(stdout)
+		return enc.Encode(map[string]any{
+			"experiment": name,
+			"config":     config,
+			"result":     result,
+		})
+	}
+
+	runScenarios := func(names []string) error {
+		scfg := experiments.DefaultScenarioConfig()
+		scfg.Scenarios = names
+		res, err := experiments.ScenarioSweep(scfg)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *jsonOut:
+			return emitJSON("scenarios", scfg, res.Results)
+		case *csv:
+			fmt.Fprint(stdout, res.Absolute.CSV())
+			fmt.Fprint(stdout, res.Ratio.CSV())
+		default:
+			fmt.Fprintln(stdout, res)
+		}
+		return nil
+	}
+
+	if *scenario != "" {
+		if *scenario == "all" {
+			return runScenarios(nil)
+		}
+		return runScenarios([]string{*scenario})
+	}
+
+	runOne := func(name string) error {
 		switch name {
 		case "fig1":
 			res, err := experiments.Figure1()
-			exitOn(err)
-			if *jsonOut {
-				emitJSON(name, nil, res)
-				return
+			if err != nil {
+				return err
 			}
-			fmt.Println(res)
+			if *jsonOut {
+				return emitJSON(name, nil, res)
+			}
+			fmt.Fprintln(stdout, res)
 		case "table1":
 			tcfg := experiments.DefaultTable1Config()
 			res, err := experiments.Table1(tcfg)
-			exitOn(err)
-			if *jsonOut {
-				emitJSON(name, tcfg, res)
-				return
+			if err != nil {
+				return err
 			}
-			fmt.Println("Table 1: approximation guarantees and measured ratios (ALG / certified lower bound)")
-			fmt.Println(res)
+			if *jsonOut {
+				return emitJSON(name, tcfg, res)
+			}
+			fmt.Fprintln(stdout, "Table 1: approximation guarantees and measured ratios (ALG / certified lower bound)")
+			fmt.Fprintln(stdout, res)
 		case "fig3":
 			res, err := experiments.Figure3(cfg)
-			exitOn(err)
-			if *jsonOut {
-				emitJSON(name, cfg, res)
-				return
+			if err != nil {
+				return err
 			}
-			printFigure(res, *csv)
+			if *jsonOut {
+				return emitJSON(name, cfg, res)
+			}
+			printFigure(stdout, res, *csv)
 		case "fig4":
 			res, err := experiments.Figure4(cfg)
-			exitOn(err)
-			if *jsonOut {
-				emitJSON(name, cfg, res)
-				return
+			if err != nil {
+				return err
 			}
-			printFigure(res, *csv)
+			if *jsonOut {
+				return emitJSON(name, cfg, res)
+			}
+			printFigure(stdout, res, *csv)
 		case "ablation":
 			acfg := experiments.DefaultAblationConfig()
 			res, err := experiments.Ablation(acfg)
-			exitOn(err)
-			if *jsonOut {
-				emitJSON(name, acfg, res)
-				return
+			if err != nil {
+				return err
 			}
-			fmt.Println(res)
+			if *jsonOut {
+				return emitJSON(name, acfg, res)
+			}
+			fmt.Fprintln(stdout, res)
 		case "online":
 			ocfg := experiments.DefaultOnlineConfig()
 			if *paper {
@@ -177,15 +263,17 @@ func main() {
 				ocfg.Width = *width
 			}
 			res, err := experiments.OnlineSweep(ocfg)
-			exitOn(err)
+			if err != nil {
+				return err
+			}
 			switch {
 			case *jsonOut:
-				emitJSON(name, ocfg, res)
+				return emitJSON(name, ocfg, res)
 			case *csv:
-				fmt.Print(res.Absolute.CSV())
-				fmt.Print(res.Ratio.CSV())
+				fmt.Fprint(stdout, res.Absolute.CSV())
+				fmt.Fprint(stdout, res.Ratio.CSV())
 			default:
-				fmt.Println(res)
+				fmt.Fprintln(stdout, res)
 			}
 		case "sim":
 			scfg := experiments.DefaultSimSuiteConfig()
@@ -202,58 +290,49 @@ func main() {
 				scfg.Reference = false
 			}
 			res, err := experiments.SimSuite(scfg)
-			exitOn(err)
-			if *jsonOut {
-				emitJSON(name, scfg, res)
-				return
+			if err != nil {
+				return err
 			}
-			fmt.Println("Simulator micro-suite: priority-policy Run, incremental vs naive reference")
-			fmt.Print(res)
+			if *jsonOut {
+				return emitJSON(name, scfg, res)
+			}
+			fmt.Fprintln(stdout, "Simulator micro-suite: priority-policy Run, incremental vs naive reference")
+			fmt.Fprint(stdout, res)
+		case "scenarios":
+			return runScenarios(nil)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			finishProfiles()
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q", name)
 		}
+		return nil
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online", "sim"} {
+		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online", "sim", "scenarios"} {
 			if !*jsonOut {
-				fmt.Printf("=== %s ===\n", name)
+				fmt.Fprintf(stdout, "=== %s ===\n", name)
 			}
-			run(name)
+			if err := runOne(name); err != nil {
+				return err
+			}
 			if !*jsonOut {
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 		}
-		return
+		return nil
 	}
-	run(*experiment)
+	return runOne(*experiment)
 }
 
-// emitJSON writes one machine-readable result object: the experiment name,
-// the configuration it ran with (null for parameterless experiments) and
-// the full result. One object per line, so -experiment all yields JSON
-// Lines that trajectory tooling can append to BENCH_*.json files.
-func emitJSON(name string, config, result any) {
-	enc := json.NewEncoder(os.Stdout)
-	exitOn(enc.Encode(map[string]any{
-		"experiment": name,
-		"config":     config,
-		"result":     result,
-	}))
-}
-
-func printFigure(res *experiments.FigureResult, csv bool) {
+func printFigure(w io.Writer, res *experiments.FigureResult, csv bool) {
 	if csv {
-		fmt.Print(res.Absolute.CSV())
-		fmt.Print(res.Ratio.CSV())
+		fmt.Fprint(w, res.Absolute.CSV())
+		fmt.Fprint(w, res.Ratio.CSV())
 		return
 	}
-	fmt.Println(res)
+	fmt.Fprintln(w, res)
 }
 
-func parseInts(s string) []int {
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -261,33 +340,10 @@ func parseInts(s string) []int {
 			continue
 		}
 		v, err := strconv.Atoi(part)
-		exitOn(err)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, v)
 	}
-	return out
-}
-
-// flushProfiles holds the finalizers for any active pprof outputs. They run
-// both on the normal return path (deferred in main) and before error exits —
-// os.Exit skips defers, and a truncated CPU profile is useless in exactly
-// the failure-diagnosis scenario the flags exist for.
-var (
-	flushProfiles []func()
-	flushOnce     sync.Once
-)
-
-func finishProfiles() {
-	flushOnce.Do(func() {
-		for _, f := range flushProfiles {
-			f()
-		}
-	})
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "coflowbench:", err)
-		finishProfiles()
-		os.Exit(1)
-	}
+	return out, nil
 }

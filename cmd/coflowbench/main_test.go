@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1JSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-experiment", "fig1", "-json"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &obj); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if obj["experiment"] != "fig1" {
+		t.Errorf("experiment = %v, want fig1", obj["experiment"])
+	}
+	if obj["result"] == nil {
+		t.Errorf("missing result in %v", obj)
+	}
+}
+
+func TestRunScenarioSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", "fb-trace"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -scenario fb-trace: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "ScenarioSweep") || !strings.Contains(out, "fb-trace") {
+		t.Errorf("scenario sweep output missing expected tables:\n%s", out)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-scenario", "fb-trace", "-json"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -scenario -json: %v", err)
+	}
+	var obj struct {
+		Experiment string `json:"experiment"`
+		Result     []struct {
+			Scenario    string  `json:"scenario"`
+			Policy      string  `json:"policy"`
+			WeightedCCT float64 `json:"weighted_cct"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &obj); err != nil {
+		t.Fatalf("-scenario -json output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if obj.Experiment != "scenarios" || len(obj.Result) == 0 {
+		t.Errorf("unexpected JSON payload: %+v", obj)
+	}
+	for _, r := range obj.Result {
+		if r.Scenario != "fb-trace" || r.WeightedCCT <= 0 {
+			t.Errorf("degenerate result cell: %+v", r)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-experiment", "fig99"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+	if err := run([]string{"-scenario", "no-such"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+	if err := run([]string{"-widths", "4,nope"}, &stdout, &stderr); err == nil {
+		t.Errorf("malformed -widths accepted")
+	}
+}

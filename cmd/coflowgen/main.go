@@ -1,17 +1,23 @@
-// Command coflowgen generates random coflow workload instances (the paper's
-// §4.1 methodology: Poisson flow sizes, release times and coflow weights over
-// a datacenter topology) and writes them as JSON for coflowsim to consume.
+// Command coflowgen generates coflow workload instances and writes them as
+// JSON for coflowsim to consume: either the paper's §4.1 random methodology
+// (Poisson flow sizes, release times and coflow weights over a datacenter
+// topology) or a named scenario from the registry (trace replay, heavy-tail,
+// incast, fan-in/out, diurnal — see EXPERIMENTS.md).
 //
-// Example:
+// Examples:
 //
 //	coflowgen -topology fattree -fatk 4 -coflows 10 -width 16 -seed 3 > workload.json
+//	coflowgen -scenario heavy-tail > heavytail.json
+//	coflowgen -list-scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
@@ -19,69 +25,122 @@ import (
 )
 
 func main() {
-	var (
-		topology    = flag.String("topology", "fattree", "topology: fattree, star, ring, line, grid, triangle")
-		fatK        = flag.Int("fatk", 4, "fat-tree arity")
-		nodes       = flag.Int("nodes", 8, "node count for star/ring/line/grid topologies")
-		coflows     = flag.Int("coflows", 10, "number of coflows")
-		width       = flag.Int("width", 16, "flows per coflow")
-		meanSize    = flag.Float64("size", 4, "mean flow size (Poisson)")
-		meanRelease = flag.Float64("release", 2, "mean flow release time (Poisson)")
-		meanWeight  = flag.Float64("weight", 1, "mean coflow weight (Poisson)")
-		packet      = flag.Bool("packet", false, "packet model: force all sizes to 1")
-		withPaths   = flag.Bool("with-paths", false, "pre-assign shortest paths (\"paths given\" variants)")
-		seed        = flag.Int64("seed", 1, "random seed")
-		out         = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
-
-	var g *graph.Graph
-	switch *topology {
-	case "fattree":
-		g = graph.FatTree(*fatK, 1)
-	case "star":
-		g = graph.Star(*nodes, 1)
-	case "ring":
-		g = graph.Ring(*nodes, 1)
-	case "line":
-		g = graph.Line(*nodes, 1)
-	case "grid":
-		g = graph.Grid(*nodes, *nodes, 1)
-	case "triangle":
-		g = graph.Triangle()
-	default:
-		fmt.Fprintf(os.Stderr, "coflowgen: unknown topology %q\n", *topology)
-		os.Exit(2)
-	}
-
-	rng := rand.New(rand.NewSource(*seed))
-	cfg := workload.Config{
-		NumCoflows: *coflows, Width: *width,
-		MeanSize: *meanSize, MeanRelease: *meanRelease, MeanWeight: *meanWeight,
-		PacketModel: *packet,
-	}
-	var inst *coflow.Instance
-	var err error
-	if *withPaths {
-		inst, err = workload.GenerateWithPaths(g, cfg, rng)
-	} else {
-		inst, err = workload.Generate(g, cfg, rng)
-	}
-	exitOn(err)
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		exitOn(err)
-		defer f.Close()
-		w = f
-	}
-	exitOn(inst.WriteJSON(w))
-}
-
-func exitOn(err error) {
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "coflowgen:", err)
 		os.Exit(1)
 	}
+}
+
+// run is main with injectable arguments and streams, so the smoke tests can
+// drive the whole command without exec'ing a binary.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coflowgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		topology    = fs.String("topology", "fattree", "topology: fattree, star, ring, line, grid, triangle (random mode)")
+		fatK        = fs.Int("fatk", 4, "fat-tree arity (random mode)")
+		nodes       = fs.Int("nodes", 8, "node count for star/ring/line/grid topologies (random mode)")
+		coflows     = fs.Int("coflows", 10, "number of coflows (random mode)")
+		width       = fs.Int("width", 16, "flows per coflow (random mode)")
+		meanSize    = fs.Float64("size", 4, "mean flow size (Poisson, random mode)")
+		meanRelease = fs.Float64("release", 2, "mean flow release time (Poisson, random mode)")
+		meanWeight  = fs.Float64("weight", 1, "mean coflow weight (Poisson, random mode)")
+		packet      = fs.Bool("packet", false, "packet model: force all sizes to 1 (random mode)")
+		withPaths   = fs.Bool("with-paths", false, "pre-assign shortest paths (\"paths given\" variants)")
+		seed        = fs.Int64("seed", 1, "random seed (random mode)")
+		out         = fs.String("o", "", "output file (default stdout)")
+		scenario    = fs.String("scenario", "", "emit a named scenario from the registry instead of the random workload (see -list-scenarios); scenarios fix their own topology, shape and seed")
+		list        = fs.Bool("list-scenarios", false, "list registered scenarios and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// A scenario bundles its own topology, shape and seed; silently ignoring
+	// an explicit random-mode flag would hand the user a workload they did
+	// not ask for (e.g. -scenario x -seed 42 emitting the seed-7 draw).
+	if *scenario != "" {
+		randomModeFlags := map[string]bool{
+			"topology": true, "fatk": true, "nodes": true, "coflows": true,
+			"width": true, "size": true, "release": true, "weight": true,
+			"packet": true, "seed": true,
+		}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if randomModeFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-scenario fixes the workload; random-mode flags %s have no effect (drop them or drop -scenario)", strings.Join(conflict, ", "))
+		}
+	}
+
+	if *list {
+		for _, s := range workload.Scenarios() {
+			fmt.Fprintf(stdout, "%-12s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+
+	var inst *coflow.Instance
+	var err error
+	if *scenario != "" {
+		sc, ok := workload.LookupScenario(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (have %v)", *scenario, workload.ScenarioNames())
+		}
+		inst, _, err = sc.Build()
+		if err != nil {
+			return err
+		}
+		if *withPaths {
+			if err := inst.AssignShortestPaths(); err != nil {
+				return err
+			}
+		}
+	} else {
+		var g *graph.Graph
+		switch *topology {
+		case "fattree":
+			g = graph.FatTree(*fatK, 1)
+		case "star":
+			g = graph.Star(*nodes, 1)
+		case "ring":
+			g = graph.Ring(*nodes, 1)
+		case "line":
+			g = graph.Line(*nodes, 1)
+		case "grid":
+			g = graph.Grid(*nodes, *nodes, 1)
+		case "triangle":
+			g = graph.Triangle()
+		default:
+			return fmt.Errorf("unknown topology %q", *topology)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		cfg := workload.Config{
+			NumCoflows: *coflows, Width: *width,
+			MeanSize: *meanSize, MeanRelease: *meanRelease, MeanWeight: *meanWeight,
+			PacketModel: *packet,
+		}
+		if *withPaths {
+			inst, err = workload.GenerateWithPaths(g, cfg, rng)
+		} else {
+			inst, err = workload.Generate(g, cfg, rng)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return inst.WriteJSON(w)
 }

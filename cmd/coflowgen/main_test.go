@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coflowsched/internal/coflow"
+)
+
+func TestRunGeneratesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-topology", "line", "-nodes", "4", "-coflows", "2", "-width", "2", "-seed", "7", "-o", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("opening output: %v", err)
+	}
+	defer f.Close()
+	inst, err := coflow.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("output is not a valid instance: %v", err)
+	}
+	if len(inst.Coflows) != 2 {
+		t.Errorf("got %d coflows, want 2", len(inst.Coflows))
+	}
+	if err := inst.Validate(false); err != nil {
+		t.Errorf("generated instance invalid: %v", err)
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", "incast"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -scenario incast: %v", err)
+	}
+	inst, err := coflow.ReadJSON(&stdout)
+	if err != nil {
+		t.Fatalf("scenario output is not a valid instance: %v", err)
+	}
+	if len(inst.Coflows) == 0 {
+		t.Errorf("scenario emitted no coflows")
+	}
+}
+
+func TestRunListScenarios(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -list-scenarios: %v", err)
+	}
+	for _, want := range []string{"uniform", "heavy-tail", "fb-trace"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("listing missing scenario %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-topology", "mobius-strip"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown topology accepted")
+	}
+	if err := run([]string{"-scenario", "no-such"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+	if err := run([]string{"-scenario", "uniform", "-seed", "42"}, &stdout, &stderr); err == nil {
+		t.Errorf("-scenario with a conflicting random-mode flag accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}

@@ -1,10 +1,20 @@
-// Command coflowload replays a Poisson coflow arrival process against a live
-// coflowd daemon (cmd/coflowd) and reports achieved request throughput plus
+// Command coflowload replays a coflow arrival process against a live coflowd
+// daemon (cmd/coflowd) and reports achieved request throughput plus
 // admit-latency percentiles — the closed-loop load-testing companion to the
-// daemon. The workload comes from workload.GenerateArrivals, remapped onto
-// the daemon's actual topology (fetched from GET /v1/network).
+// daemon.
+//
+// Three workload sources:
 //
 //	coflowload -target http://localhost:8080 -coflows 200 -rate 100 -wait
+//	coflowload -scenario heavy-tail -speedup 4 -wait
+//	coflowload -trace fb.csv -speedup 10 -wait
+//
+// The default mode generates a Poisson process (workload.GenerateArrivals)
+// remapped onto the daemon's actual topology (fetched from GET /v1/network).
+// With -scenario or -trace, the named registry scenario or parsed trace file
+// is replayed instead: simulated arrival times are compressed by -speedup
+// into the wall-clock send schedule, so a multi-hour trace can drive the
+// daemon in seconds (pair with the daemon's -timescale).
 //
 // With -wait the command polls until every admitted coflow completes and
 // reports the daemon's final scheduling statistics. Exit status is non-zero
@@ -12,74 +22,154 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
 	"coflowsched/internal/server"
+	"coflowsched/internal/workload"
 )
 
-func main() {
-	var (
-		target      = flag.String("target", "http://localhost:8080", "coflowd base URL")
-		coflows     = flag.Int("coflows", 100, "number of coflows to replay")
-		width       = flag.Int("width", 3, "flows per coflow")
-		meanSize    = flag.Float64("size", 4, "mean flow size")
-		meanWeight  = flag.Float64("weight", 1, "mean coflow weight")
-		rate        = flag.Float64("rate", 50, "mean coflow arrivals per wall-clock second (Poisson)")
-		concurrency = flag.Int("concurrency", 4, "concurrent admit requests")
-		seed        = flag.Int64("seed", 1, "random seed")
-		wait        = flag.Bool("wait", false, "poll until every admitted coflow completes")
-		waitTimeout = flag.Duration("wait-timeout", 60*time.Second, "completion polling budget with -wait")
-		quiet       = flag.Bool("quiet", false, "suppress progress logging")
-	)
-	flag.Parse()
+// errFailedRequests distinguishes "the replay ran but some admissions
+// failed" (already summarized in the printed report) from setup errors.
+var errFailedRequests = errors.New("some requests failed")
 
-	c := server.NewClient(*target)
-	health, err := c.Health()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "coflowload: daemon unreachable at %s: %v\n", *target, err)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFailedRequests) {
+			fmt.Fprintln(os.Stderr, "coflowload:", err)
+		}
 		os.Exit(1)
 	}
-	logf := func(format string, args ...any) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	logf("coflowload: target %s healthy (policy %s, sim clock %.2f)", *target, health.Policy, health.Now)
+}
 
-	report, err := server.RunLoad(c, server.LoadConfig{
+// run is main with injectable arguments and streams (smoke-testable without
+// exec'ing a binary).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coflowload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "http://localhost:8080", "coflowd base URL")
+		coflows     = fs.Int("coflows", 100, "number of coflows to replay (generated mode)")
+		width       = fs.Int("width", 3, "flows per coflow (generated mode)")
+		meanSize    = fs.Float64("size", 4, "mean flow size (generated mode)")
+		meanWeight  = fs.Float64("weight", 1, "mean coflow weight (generated mode)")
+		rate        = fs.Float64("rate", 50, "mean coflow arrivals per wall-clock second (generated mode)")
+		scenario    = fs.String("scenario", "", "replay a named workload scenario instead of generating (see coflowgen -list-scenarios)")
+		trace       = fs.String("trace", "", "replay a Facebook/Varys-style CSV trace file instead of generating")
+		maxCoflows  = fs.Int("max-coflows", 0, "truncate a -trace replay to the first n coflows (0 = all)")
+		speedup     = fs.Float64("speedup", 1, "replay clock compression for -scenario/-trace: simulated arrival time t is sent at wall-clock t/speedup seconds")
+		concurrency = fs.Int("concurrency", 4, "concurrent admit requests")
+		seed        = fs.Int64("seed", 1, "random seed (generated mode)")
+		wait        = fs.Bool("wait", false, "poll until every admitted coflow completes")
+		waitTimeout = fs.Duration("wait-timeout", 60*time.Second, "completion polling budget with -wait")
+		quiet       = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scenario != "" && *trace != "" {
+		return fmt.Errorf("-scenario and -trace are mutually exclusive")
+	}
+
+	cfg := server.LoadConfig{
 		Coflows:      *coflows,
 		Width:        *width,
 		MeanSize:     *meanSize,
 		MeanWeight:   *meanWeight,
 		Rate:         *rate,
+		SpeedUp:      *speedup,
 		Concurrency:  *concurrency,
 		Seed:         *seed,
 		WaitComplete: *wait,
 		WaitTimeout:  *waitTimeout,
-		Logf:         logf,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "coflowload:", err)
-		if report != nil {
-			fmt.Println(report)
-		}
-		os.Exit(1)
 	}
-	fmt.Println(report)
+	switch {
+	case *scenario != "":
+		sc, ok := workload.LookupScenario(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (have %v)", *scenario, workload.ScenarioNames())
+		}
+		inst, arrivals, err := sc.Build()
+		if err != nil {
+			return err
+		}
+		cfg.Instance, cfg.Arrivals = inst, arrivals
+	case *trace != "":
+		inst, arrivals, err := loadTrace(*trace, *maxCoflows)
+		if err != nil {
+			return err
+		}
+		cfg.Instance, cfg.Arrivals = inst, arrivals
+	}
+
+	c := server.NewClient(*target)
+	health, err := c.Health()
+	if err != nil {
+		return fmt.Errorf("daemon unreachable at %s: %v", *target, err)
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	cfg.Logf = logf
+	logf("coflowload: target %s healthy (policy %s, sim clock %.2f)", *target, health.Policy, health.Now)
+	if cfg.Instance != nil {
+		logf("coflowload: replaying %d coflows (%d flows) at %gx compression",
+			len(cfg.Instance.Coflows), cfg.Instance.NumFlows(), *speedup)
+	}
+
+	report, err := server.RunLoad(c, cfg)
+	if err != nil {
+		if report != nil {
+			fmt.Fprintln(stdout, report)
+		}
+		return err
+	}
+	fmt.Fprintln(stdout, report)
 
 	if *wait {
 		st, err := c.Stats()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "coflowload: fetching final stats:", err)
-			os.Exit(1)
+			return fmt.Errorf("fetching final stats: %v", err)
 		}
-		fmt.Printf("daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
+		fmt.Fprintf(stdout, "daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
 			st.Admitted, st.Completed, st.WeightedCCT, st.WeightedResponse, st.SlowdownP95, st.SolveMsP95)
 	}
 	if report.Failures > 0 {
-		os.Exit(1)
+		return errFailedRequests
 	}
+	return nil
+}
+
+// loadTrace parses a trace file and realizes it on a stand-in star wide
+// enough for every slot — server.RunLoad remaps hosts by index onto whatever
+// topology the daemon actually runs.
+func loadTrace(path string, maxCoflows int) (*coflow.Instance, []float64, error) {
+	tr, err := workload.ParseTraceFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxSlot := 0
+	for _, rec := range tr.Records {
+		for _, s := range rec.Mappers {
+			if s > maxSlot {
+				maxSlot = s
+			}
+		}
+		for _, s := range rec.Reducers {
+			if s > maxSlot {
+				maxSlot = s
+			}
+		}
+	}
+	standIn := graph.Star(maxSlot+2, 1)
+	return tr.Instance(standIn, workload.TraceConfig{MaxCoflows: maxCoflows})
 }

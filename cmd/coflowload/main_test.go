@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
+	"coflowsched/internal/server"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", "x", "-trace", "y"}, &stdout, &stderr); err == nil {
+		t.Errorf("-scenario with -trace accepted")
+	}
+	if err := run([]string{"-scenario", "no-such"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown scenario accepted")
+	}
+	if err := run([]string{"-trace", "/does/not/exist.csv"}, &stdout, &stderr); err == nil {
+		t.Errorf("missing trace file accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}
+
+func TestRunDeadTarget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-target", "http://127.0.0.1:1", "-quiet"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("dead target error = %v, want unreachable", err)
+	}
+}
+
+// TestRunTraceReplay drives the full command against a live in-process
+// daemon: parse a trace file, remap it onto the daemon's topology, replay on
+// a compressed clock and wait for completion.
+func TestRunTraceReplay(t *testing.T) {
+	s, err := server.New(server.Config{
+		Network:     graph.FatTree(4, 1),
+		Policy:      online.SEBFOnline{},
+		EpochLength: 2,
+		TimeScale:   2000,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	path := filepath.Join(t.TempDir(), "t.csv")
+	traceCSV := "coflow,arrival_ms,mappers,reducers\nj0,0,0;1,2:40;3:20\nj1,200,4,5:10\nj2,500,2;3,0:30\n"
+	if err := os.WriteFile(path, []byte(traceCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err = run([]string{"-target", ts.URL, "-trace", path, "-speedup", "10", "-wait", "-quiet"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "failures=0") || !strings.Contains(out, "completed=3") {
+		t.Errorf("unexpected replay report:\n%s", out)
+	}
+	if !strings.Contains(out, "daemon: admitted=3 completed=3") {
+		t.Errorf("missing daemon stats line:\n%s", out)
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -26,27 +27,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "coflowsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable arguments and streams (smoke-testable without
+// exec'ing a binary).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coflowsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		schedulerName = flag.String("scheduler", "lp", "scheduler: lp, lp-exact, lp-given, route-only, schedule-only, sebf, fair, baseline, all")
-		instancePath  = flag.String("instance", "", "JSON instance file (from coflowgen); omit to generate randomly")
-		topology      = flag.String("topology", "fattree", "topology for generated instances: fattree, star, ring, line, grid, triangle")
-		fatK          = flag.Int("fatk", 4, "fat-tree arity")
-		nodes         = flag.Int("nodes", 8, "node count for star/ring/line topologies")
-		coflows       = flag.Int("coflows", 5, "number of coflows")
-		width         = flag.Int("width", 4, "flows per coflow")
-		meanSize      = flag.Float64("size", 4, "mean flow size")
-		meanRelease   = flag.Float64("release", 2, "mean release time")
-		meanWeight    = flag.Float64("weight", 1, "mean coflow weight")
-		seed          = flag.Int64("seed", 1, "random seed")
-		candidates    = flag.Int("paths", 4, "candidate paths per flow for the LP schedulers")
-		validate      = flag.Bool("validate", true, "validate the produced schedule")
+		schedulerName = fs.String("scheduler", "lp", "scheduler: lp, lp-exact, lp-given, route-only, schedule-only, sebf, fair, baseline, all")
+		instancePath  = fs.String("instance", "", "JSON instance file (from coflowgen); omit to generate randomly")
+		topology      = fs.String("topology", "fattree", "topology for generated instances: fattree, star, ring, line, grid, triangle")
+		fatK          = fs.Int("fatk", 4, "fat-tree arity")
+		nodes         = fs.Int("nodes", 8, "node count for star/ring/line topologies")
+		coflows       = fs.Int("coflows", 5, "number of coflows")
+		width         = fs.Int("width", 4, "flows per coflow")
+		meanSize      = fs.Float64("size", 4, "mean flow size")
+		meanRelease   = fs.Float64("release", 2, "mean release time")
+		meanWeight    = fs.Float64("weight", 1, "mean coflow weight")
+		seed          = fs.Int64("seed", 1, "random seed")
+		candidates    = fs.Int("paths", 4, "candidate paths per flow for the LP schedulers")
+		validate      = fs.Bool("validate", true, "validate the produced schedule")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	inst, err := loadOrGenerate(*instancePath, *topology, *fatK, *nodes, *coflows, *width, *meanSize, *meanRelease, *meanWeight, *seed)
-	exitOn(err)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("instance: %s, %d coflows, %d flows, total size %.0f\n",
+	fmt.Fprintf(stdout, "instance: %s, %d coflows, %d flows, total size %.0f\n",
 		inst.Network, len(inst.Coflows), inst.NumFlows(), inst.TotalSize())
 
 	schedulers := map[string]experiments.Scheduler{
@@ -59,50 +75,67 @@ func main() {
 		"baseline":      baselines.Baseline{},
 	}
 
-	runOne := func(name string, s experiments.Scheduler) {
+	runOne := func(name string, s experiments.Scheduler) error {
 		rng := rand.New(rand.NewSource(*seed + 1))
 		cs, err := s.Schedule(inst, rng)
-		exitOn(err)
-		if *validate {
-			exitOn(cs.Validate(inst))
+		if err != nil {
+			return err
 		}
-		fmt.Printf("%-15s total weighted completion time = %.2f (makespan %.2f)\n",
+		if *validate {
+			if err := cs.Validate(inst); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stdout, "%-15s total weighted completion time = %.2f (makespan %.2f)\n",
 			s.Name(), cs.Objective(inst), cs.Makespan())
+		return nil
 	}
 
 	switch *schedulerName {
 	case "all":
 		order := []string{"lp", "route-only", "schedule-only", "sebf", "fair", "baseline"}
 		for _, name := range order {
-			runOne(name, schedulers[name])
+			if err := runOne(name, schedulers[name]); err != nil {
+				return err
+			}
 		}
 	case "lp-given":
-		exitOn(inst.AssignShortestPaths())
-		res, err := (core.CircuitGivenPaths{}).ScheduleASAP(inst)
-		exitOn(err)
-		if *validate {
-			exitOn(res.Schedule.Validate(inst))
+		if err := inst.AssignShortestPaths(); err != nil {
+			return err
 		}
-		fmt.Printf("%-15s total weighted completion time = %.2f (LP lower bound %.2f, ratio %.2f)\n",
+		res, err := (core.CircuitGivenPaths{}).ScheduleASAP(inst)
+		if err != nil {
+			return err
+		}
+		if *validate {
+			if err := res.Schedule.Validate(inst); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stdout, "%-15s total weighted completion time = %.2f (LP lower bound %.2f, ratio %.2f)\n",
 			"LP (given paths)", res.Objective(inst), core.CombinedLowerBound(inst, res), res.ApproximationRatio(inst))
 	case "lp":
 		// Run via the rich API so the lower bound can be reported.
 		res, err := (core.CircuitFreePaths{Opts: core.Options{CandidatePaths: *candidates}}).ScheduleASAP(inst, rand.New(rand.NewSource(*seed+1)))
-		exitOn(err)
+		if err != nil {
+			return err
+		}
 		if *validate {
-			exitOn(res.Schedule.Validate(inst))
+			if err := res.Schedule.Validate(inst); err != nil {
+				return err
+			}
 		}
 		lb := core.CombinedLowerBound(inst, res)
-		fmt.Printf("%-15s total weighted completion time = %.2f (certified lower bound %.2f, ratio %.2f)\n",
+		fmt.Fprintf(stdout, "%-15s total weighted completion time = %.2f (certified lower bound %.2f, ratio %.2f)\n",
 			"LP-Based", res.Objective(inst), lb, res.Objective(inst)/lb)
 	default:
 		s, ok := schedulers[*schedulerName]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedulerName)
-			os.Exit(2)
+			return fmt.Errorf("unknown scheduler %q", *schedulerName)
 		}
-		runOne(*schedulerName, s)
+		return runOne(*schedulerName, s)
 	}
+	return nil
 }
 
 func loadOrGenerate(path, topology string, fatK, nodes, coflows, width int, meanSize, meanRelease, meanWeight float64, seed int64) (*coflow.Instance, error) {
@@ -136,11 +169,4 @@ func loadOrGenerate(path, topology string, fatK, nodes, coflows, width int, mean
 		NumCoflows: coflows, Width: width,
 		MeanSize: meanSize, MeanRelease: meanRelease, MeanWeight: meanWeight,
 	}, rng)
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "coflowsim:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSEBFOnGeneratedInstance(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scheduler", "sebf", "-topology", "star", "-nodes", "4", "-coflows", "2", "-width", "2", "-seed", "3"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "total weighted completion time") {
+		t.Errorf("missing objective line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "2 coflows") {
+		t.Errorf("missing instance summary in output:\n%s", out)
+	}
+}
+
+func TestRunInstanceFile(t *testing.T) {
+	// End-to-end with coflowgen's JSON format: write a tiny instance by hand
+	// and schedule it.
+	path := filepath.Join(t.TempDir(), "inst.json")
+	instJSON := `{
+	  "nodes": [{"name":"a","kind":0},{"name":"b","kind":0},{"name":"sw","kind":3}],
+	  "edges": [
+	    {"from":0,"to":2,"capacity":1},{"from":2,"to":0,"capacity":1},
+	    {"from":1,"to":2,"capacity":1},{"from":2,"to":1,"capacity":1}
+	  ],
+	  "coflows": [{"name":"c0","weight":1,"flows":[{"source":0,"dest":1,"size":2,"release":0}]}]
+	}`
+	if err := os.WriteFile(path, []byte(instJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scheduler", "fair", "-instance", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "total weighted completion time") {
+		t.Errorf("missing objective line:\n%s", stdout.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scheduler", "quantum-annealer"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown scheduler accepted")
+	}
+	if err := run([]string{"-topology", "klein-bottle"}, &stdout, &stderr); err == nil {
+		t.Errorf("unknown topology accepted")
+	}
+	if err := run([]string{"-instance", "/does/not/exist.json"}, &stdout, &stderr); err == nil {
+		t.Errorf("missing instance file accepted")
+	}
+}

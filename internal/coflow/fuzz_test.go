@@ -1,0 +1,64 @@
+package coflow
+
+import (
+	"bytes"
+	"testing"
+)
+
+// validInstanceJSON is a well-formed fixture (what WriteJSON emits) so the
+// fuzzer starts from the interesting part of the input space.
+const validInstanceJSON = `{
+  "nodes": [
+    {"name": "a", "kind": 0},
+    {"name": "b", "kind": 0},
+    {"name": "sw", "kind": 3}
+  ],
+  "edges": [
+    {"from": 0, "to": 2, "capacity": 1},
+    {"from": 2, "to": 0, "capacity": 1},
+    {"from": 1, "to": 2, "capacity": 1},
+    {"from": 2, "to": 1, "capacity": 2.5}
+  ],
+  "coflows": [
+    {"name": "c0", "weight": 2, "flows": [
+      {"source": 0, "dest": 1, "size": 3, "release": 0.5}
+    ]}
+  ]
+}`
+
+// FuzzCoflowJSON hammers the instance decoder with arbitrary bytes: it must
+// error or succeed without panicking, and anything it accepts must survive a
+// write/read round trip unchanged in shape.
+func FuzzCoflowJSON(f *testing.F) {
+	f.Add([]byte(validInstanceJSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nodes":[],"edges":[],"coflows":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"x","kind":0}],"edges":[{"from":0,"to":5,"capacity":1}]}`))
+	f.Add([]byte(`{"coflows":[{"flows":[{"source":-1,"dest":9,"size":-3}]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		var buf bytes.Buffer
+		if err := inst.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted instance failed to serialize: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back.Coflows) != len(inst.Coflows) {
+			t.Fatalf("round trip changed coflow count: %d != %d", len(back.Coflows), len(inst.Coflows))
+		}
+		if back.Network.NumNodes() != inst.Network.NumNodes() || back.Network.NumEdges() != inst.Network.NumEdges() {
+			t.Fatalf("round trip changed the network shape")
+		}
+		for i := range inst.Coflows {
+			if len(back.Coflows[i].Flows) != len(inst.Coflows[i].Flows) {
+				t.Fatalf("round trip changed coflow %d flow count", i)
+			}
+		}
+	})
+}

@@ -103,8 +103,22 @@ func decodeResponse(resp *http.Response, out any) error {
 }
 
 // LoadConfig parameterizes a load-generation run: a Poisson replay of
-// workload.GenerateArrivals against a live daemon, in wall-clock time.
+// workload.GenerateArrivals against a live daemon, in wall-clock time — or,
+// when Instance is set, a replay of a prebuilt workload (a scenario or a
+// parsed trace) on a scaled wall clock.
 type LoadConfig struct {
+	// Instance, when non-nil, is a prebuilt workload to replay instead of
+	// generating one. Arrivals must be index-aligned with Instance.Coflows
+	// and non-decreasing (what workload scenarios and traces produce);
+	// endpoints are remapped onto the daemon's hosts by host index. The
+	// Coflows/Width/MeanSize/MeanWeight/Rate knobs are ignored in this mode.
+	Instance *coflow.Instance
+	Arrivals []float64
+	// SpeedUp compresses the replay clock: a coflow arriving at simulated
+	// time t is sent at wall-clock t/SpeedUp seconds (default 1). Pair with
+	// the daemon's -timescale to keep the simulated network ahead of the
+	// replay. Used only with Instance.
+	SpeedUp float64
 	// Coflows is the number of coflows to admit (default 100).
 	Coflows int
 	// Width is the number of flows per coflow (default 3).
@@ -131,6 +145,9 @@ type LoadConfig struct {
 }
 
 func (cfg LoadConfig) withDefaults() LoadConfig {
+	if cfg.SpeedUp <= 0 {
+		cfg.SpeedUp = 1
+	}
 	if cfg.Coflows <= 0 {
 		cfg.Coflows = 100
 	}
@@ -192,12 +209,20 @@ func (r *LoadReport) String() string {
 	return s
 }
 
-// RunLoad replays a Poisson coflow arrival process against a live daemon.
-// The workload comes from workload.GenerateArrivals on a star stand-in
-// topology with the daemon's host count; generated endpoints are remapped
-// onto the daemon's actual host ids, and the generated arrival times become
-// the wall-clock send schedule. Flow release offsets are zero: every flow of
-// a coflow is released on admission, matching the generator's default.
+// RunLoad replays a coflow arrival process against a live daemon.
+//
+// By default the workload comes from workload.GenerateArrivals on a star
+// stand-in topology with the daemon's host count; generated endpoints are
+// remapped onto the daemon's actual host ids, and the generated arrival
+// times become the wall-clock send schedule. Flow release offsets are zero:
+// every flow of a coflow is released on admission, matching the generator's
+// default.
+//
+// With cfg.Instance set, the prebuilt workload (a scenario or parsed trace)
+// is replayed instead: endpoints are remapped onto the daemon's hosts by
+// host index (mod the daemon's host count), arrivals are compressed by
+// SpeedUp into the wall-clock send schedule, and each flow keeps its release
+// offset from the coflow's arrival in simulated time.
 func RunLoad(c *Client, cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 	net, err := c.Network()
@@ -207,42 +232,12 @@ func RunLoad(c *Client, cfg LoadConfig) (*LoadReport, error) {
 	if len(net.Hosts) < 2 {
 		return nil, fmt.Errorf("loadgen: daemon topology has %d hosts, need at least 2", len(net.Hosts))
 	}
-
-	// Draw the workload on a stand-in star with the same host count; only
-	// the endpoint identities differ, and those are remapped below.
-	standIn := graph.Star(len(net.Hosts), 1)
-	localHosts := standIn.Hosts()
-	hostIndex := make(map[graph.NodeID]int, len(localHosts))
-	for i, h := range localHosts {
-		hostIndex[h] = i
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	inst, arrivals, err := workload.GenerateArrivals(standIn, workload.ArrivalConfig{
-		Config: workload.Config{
-			NumCoflows: cfg.Coflows,
-			Width:      cfg.Width,
-			MeanSize:   cfg.MeanSize,
-			MeanWeight: cfg.MeanWeight,
-		},
-		Rate: cfg.Rate,
-	}, rng)
+	wire, sendAt, err := buildWire(cfg, net)
 	if err != nil {
-		return nil, fmt.Errorf("loadgen: generating workload: %w", err)
-	}
-	wire := make([]coflow.Coflow, len(inst.Coflows))
-	for i, cf := range inst.Coflows {
-		w := coflow.Coflow{Name: fmt.Sprintf("load-%d", i), Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
-		for j, f := range cf.Flows {
-			w.Flows[j] = coflow.Flow{
-				Source: graph.NodeID(net.Hosts[hostIndex[f.Source]]),
-				Dest:   graph.NodeID(net.Hosts[hostIndex[f.Dest]]),
-				Size:   f.Size,
-			}
-		}
-		wire[i] = w
+		return nil, err
 	}
 
-	// Replay: a dispatcher paces the Poisson schedule, workers admit.
+	// Replay: a dispatcher paces the arrival schedule, workers admit.
 	type result struct {
 		id      int
 		latency float64 // seconds
@@ -265,7 +260,7 @@ func RunLoad(c *Client, cfg LoadConfig) (*LoadReport, error) {
 	start := time.Now()
 	go func() {
 		for i := range wire {
-			due := start.Add(time.Duration(arrivals[i] * float64(time.Second)))
+			due := start.Add(time.Duration(sendAt[i] * float64(time.Second)))
 			if d := time.Until(due); d > 0 {
 				time.Sleep(d)
 			}
@@ -311,6 +306,111 @@ func RunLoad(c *Client, cfg LoadConfig) (*LoadReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// buildWire turns the configured workload into wire coflows plus their
+// wall-clock send schedule (seconds from replay start), remapped onto the
+// daemon's hosts.
+func buildWire(cfg LoadConfig, net NetworkResponse) ([]coflow.Coflow, []float64, error) {
+	if cfg.Instance != nil {
+		return replayWire(cfg, net)
+	}
+	// Draw the workload on a stand-in star with the same host count; only
+	// the endpoint identities differ, and those are remapped below.
+	standIn := graph.Star(len(net.Hosts), 1)
+	localHosts := standIn.Hosts()
+	hostIndex := make(map[graph.NodeID]int, len(localHosts))
+	for i, h := range localHosts {
+		hostIndex[h] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inst, arrivals, err := workload.GenerateArrivals(standIn, workload.ArrivalConfig{
+		Config: workload.Config{
+			NumCoflows: cfg.Coflows,
+			Width:      cfg.Width,
+			MeanSize:   cfg.MeanSize,
+			MeanWeight: cfg.MeanWeight,
+		},
+		Rate: cfg.Rate,
+	}, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loadgen: generating workload: %w", err)
+	}
+	wire := make([]coflow.Coflow, len(inst.Coflows))
+	for i, cf := range inst.Coflows {
+		w := coflow.Coflow{Name: fmt.Sprintf("load-%d", i), Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+		for j, f := range cf.Flows {
+			w.Flows[j] = coflow.Flow{
+				Source: graph.NodeID(net.Hosts[hostIndex[f.Source]]),
+				Dest:   graph.NodeID(net.Hosts[hostIndex[f.Dest]]),
+				Size:   f.Size,
+			}
+		}
+		wire[i] = w
+	}
+	return wire, arrivals, nil
+}
+
+// replayWire maps a prebuilt instance onto the daemon's topology. The
+// instance's hosts are indexed in their own topology's host order and mapped
+// onto the daemon's hosts modulo the daemon's host count; a pair that
+// collapses onto one daemon host (possible when the daemon has fewer hosts
+// than the instance) shifts its destination to the next host so the flow
+// stays a network transfer.
+func replayWire(cfg LoadConfig, net NetworkResponse) ([]coflow.Coflow, []float64, error) {
+	inst := cfg.Instance
+	if len(inst.Coflows) == 0 {
+		return nil, nil, fmt.Errorf("loadgen: replay instance has no coflows")
+	}
+	if len(cfg.Arrivals) != len(inst.Coflows) {
+		return nil, nil, fmt.Errorf("loadgen: %d arrivals for %d coflows", len(cfg.Arrivals), len(inst.Coflows))
+	}
+	srcHosts := inst.Network.Hosts()
+	hostIndex := make(map[graph.NodeID]int, len(srcHosts))
+	for i, h := range srcHosts {
+		hostIndex[h] = i
+	}
+	n := len(net.Hosts)
+	wire := make([]coflow.Coflow, len(inst.Coflows))
+	sendAt := make([]float64, len(inst.Coflows))
+	// Rebase the schedule on the first arrival so the replay starts sending
+	// immediately even for traces whose clock starts late.
+	base := cfg.Arrivals[0]
+	for i, cf := range inst.Coflows {
+		arrival := cfg.Arrivals[i]
+		if i > 0 && arrival < cfg.Arrivals[i-1] {
+			return nil, nil, fmt.Errorf("loadgen: arrivals decrease at coflow %d", i)
+		}
+		name := cf.Name
+		if name == "" {
+			name = fmt.Sprintf("replay-%d", i)
+		}
+		w := coflow.Coflow{Name: name, Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+		for j, f := range cf.Flows {
+			si, ok := hostIndex[f.Source]
+			di, dok := hostIndex[f.Dest]
+			if !ok || !dok {
+				return nil, nil, fmt.Errorf("loadgen: coflow %d flow %d endpoints are not hosts of the instance topology", i, j)
+			}
+			src, dst := si%n, di%n
+			if src == dst {
+				dst = (dst + 1) % n
+			}
+			release := f.Release - arrival
+			if release < 0 {
+				release = 0
+			}
+			w.Flows[j] = coflow.Flow{
+				Source:  graph.NodeID(net.Hosts[src]),
+				Dest:    graph.NodeID(net.Hosts[dst]),
+				Size:    f.Size,
+				Release: release,
+			}
+		}
+		wire[i] = w
+		sendAt[i] = (arrival - base) / cfg.SpeedUp
+	}
+	return wire, sendAt, nil
 }
 
 // waitComplete polls the per-coflow status endpoint until every id reports

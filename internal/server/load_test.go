@@ -6,6 +6,7 @@ import (
 
 	"coflowsched/internal/graph"
 	"coflowsched/internal/online"
+	"coflowsched/internal/workload"
 )
 
 // TestClosedLoopReplay is the repo's first end-to-end load-testing scenario:
@@ -71,5 +72,58 @@ func TestClosedLoopReplay(t *testing.T) {
 	}
 	if st.Decisions == 0 {
 		t.Errorf("no policy decisions during a %d-coflow replay", coflows)
+	}
+}
+
+// TestScenarioReplay drives the daemon with a prebuilt registry scenario on a
+// compressed clock — the path behind `coflowload -scenario` — including the
+// host remapping from the scenario's star topology onto the daemon's
+// fat-tree.
+func TestScenarioReplay(t *testing.T) {
+	sc, ok := workload.LookupScenario("incast")
+	if !ok {
+		t.Fatalf("incast scenario not registered")
+	}
+	inst, arrivals, err := sc.Build()
+	if err != nil {
+		t.Fatalf("building scenario: %v", err)
+	}
+
+	s, err := New(Config{
+		Network:     graph.FatTree(4, 1),
+		Policy:      online.SEBFOnline{},
+		EpochLength: 2,
+		TimeScale:   2000, // keep the simulated network far ahead of the replay
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	report, err := RunLoad(NewClient(ts.URL), LoadConfig{
+		Instance:     inst,
+		Arrivals:     arrivals,
+		SpeedUp:      50, // ~25 simulated units of arrivals in ~0.5s wall
+		Concurrency:  4,
+		WaitComplete: true,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	t.Logf("scenario replay report: %s", report)
+	if report.Requests != len(inst.Coflows) {
+		t.Errorf("sent %d requests, want %d", report.Requests, len(inst.Coflows))
+	}
+	if report.Failures != 0 {
+		t.Errorf("%d failed requests (first: %s)", report.Failures, report.FirstError)
+	}
+	if report.Completed != len(inst.Coflows) {
+		t.Errorf("completed %d of %d coflows", report.Completed, len(inst.Coflows))
 	}
 }

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+)
+
+func TestParetoBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := Pareto(rng, 1.5, 2, 500)
+		if x < 2 || x > 500 || math.IsNaN(x) {
+			t.Fatalf("Pareto sample %v outside [2, 500]", x)
+		}
+	}
+	// Degenerate parameters fall back to the minimum, never NaN/panic.
+	if x := Pareto(rng, 0, 2, 500); x != 2 {
+		t.Errorf("Pareto with alpha=0 = %v, want 2", x)
+	}
+	if x := Pareto(rng, 1.5, 2, 1); x != 2 {
+		t.Errorf("Pareto with inverted support = %v, want 2", x)
+	}
+}
+
+func TestParetoIsHeavyTailed(t *testing.T) {
+	// With alpha=1.1 on [1, 1000] the top decile of draws should dominate
+	// total mass — the elephant/mice split the generator exists to model.
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	xs := make([]float64, n)
+	total := 0.0
+	for i := range xs {
+		xs[i] = Pareto(rng, 1.1, 1, 1000)
+		total += xs[i]
+	}
+	big := 0.0
+	for _, x := range xs {
+		if x >= 10 {
+			big += x
+		}
+	}
+	if frac := big / total; frac < 0.5 {
+		t.Errorf("draws >= 10x minimum carry %.2f of total mass, want >= 0.5 (not heavy-tailed)", frac)
+	}
+}
+
+func TestGenerateSkewedShape(t *testing.T) {
+	g := graph.FatTree(4, 1)
+	rng := rand.New(rand.NewSource(3))
+	inst, _, err := GenerateSkewed(g, SkewConfig{NumCoflows: 6, FanIn: 5, Rate: 1}, rng)
+	if err != nil {
+		t.Fatalf("GenerateSkewed fan-in: %v", err)
+	}
+	for i, cf := range inst.Coflows {
+		if len(cf.Flows) != 5 {
+			t.Errorf("coflow %d has %d flows, want 5", i, len(cf.Flows))
+		}
+		dst := cf.Flows[0].Dest
+		seen := map[graph.NodeID]bool{}
+		for _, f := range cf.Flows {
+			if f.Dest != dst {
+				t.Errorf("coflow %d: fan-in flows have different destinations", i)
+			}
+			if seen[f.Source] {
+				t.Errorf("coflow %d: duplicate source %v", i, f.Source)
+			}
+			seen[f.Source] = true
+		}
+	}
+
+	inst, _, err = GenerateSkewed(g, SkewConfig{NumCoflows: 6, FanOut: 5, Rate: 1}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatalf("GenerateSkewed fan-out: %v", err)
+	}
+	for i, cf := range inst.Coflows {
+		src := cf.Flows[0].Source
+		for _, f := range cf.Flows {
+			if f.Source != src {
+				t.Errorf("coflow %d: fan-out flows have different sources", i)
+			}
+		}
+	}
+
+	if _, _, err := GenerateSkewed(g, SkewConfig{FanIn: 2, FanOut: 2}, rng); err == nil {
+		t.Errorf("want error when both FanIn and FanOut are set")
+	}
+}
+
+func TestGenerateIncastShape(t *testing.T) {
+	g := graph.Star(8, 1)
+	cfg := IncastConfig{Bursts: 3, BurstSize: 4, FanIn: 5, Gap: 10, Jitter: 1}
+	inst, arrivals, err := GenerateIncast(g, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("GenerateIncast: %v", err)
+	}
+	if len(inst.Coflows) != 12 {
+		t.Fatalf("got %d coflows, want 3 bursts x 4", len(inst.Coflows))
+	}
+	for b := 0; b < 3; b++ {
+		victim := inst.Coflows[b*4].Flows[0].Dest
+		for i := b * 4; i < (b+1)*4; i++ {
+			if got := arrivals[i]; got < float64(b)*10 || got > float64(b)*10+1 {
+				t.Errorf("coflow %d arrival %v outside wave %d window", i, got, b)
+			}
+			for _, f := range inst.Coflows[i].Flows {
+				if f.Dest != victim {
+					t.Errorf("coflow %d flows do not converge on the wave victim", i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDiurnalRateVariation(t *testing.T) {
+	// The sinusoidal process must actually modulate: inter-arrival gaps
+	// should spread far more than a homogeneous process at the mean rate.
+	g := graph.FatTree(4, 1)
+	inst, arrivals, err := GenerateDiurnal(g, DiurnalConfig{
+		NumCoflows: 200, Width: 1, BaseRate: 0.2, PeakRate: 10, Period: 20,
+	}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("GenerateDiurnal: %v", err)
+	}
+	if len(inst.Coflows) != 200 {
+		t.Fatalf("got %d coflows", len(inst.Coflows))
+	}
+	var gaps []float64
+	for i := 1; i < len(arrivals); i++ {
+		gaps = append(gaps, arrivals[i]-arrivals[i-1])
+	}
+	minGap, maxGap := gaps[0], gaps[0]
+	for _, d := range gaps {
+		if d < minGap {
+			minGap = d
+		}
+		if d > maxGap {
+			maxGap = d
+		}
+	}
+	if maxGap < 20*minGap {
+		t.Errorf("gap spread max/min = %v/%v: no visible rate modulation", maxGap, minGap)
+	}
+}
+
+// generatorCase adapts every generator to one signature for the shared
+// property test below.
+type generatorCase struct {
+	name     string
+	topology *graph.Graph
+	generate func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error)
+}
+
+func generatorCases() []generatorCase {
+	fat := graph.FatTree(4, 1)
+	star := graph.Star(10, 1)
+	return []generatorCase{
+		{"arrivals", fat, func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return GenerateArrivals(g, ArrivalConfig{Config: Config{NumCoflows: 6, Width: 3}, Rate: 2}, rng)
+		}},
+		{"heavy-tail", fat, func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return GenerateHeavyTail(g, HeavyTailConfig{NumCoflows: 6, Width: 3, Rate: 1, Alpha: 1.2, MinSize: 1, MaxSize: 50}, rng)
+		}},
+		{"fan-in", fat, func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return GenerateSkewed(g, SkewConfig{NumCoflows: 5, FanIn: 6, Rate: 1}, rng)
+		}},
+		{"fan-out", star, func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return GenerateSkewed(g, SkewConfig{NumCoflows: 5, FanOut: 4, Rate: 1}, rng)
+		}},
+		{"incast", star, func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return GenerateIncast(g, IncastConfig{Bursts: 2, BurstSize: 3, FanIn: 4}, rng)
+		}},
+		{"diurnal", fat, func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return GenerateDiurnal(g, DiurnalConfig{NumCoflows: 8, Width: 2}, rng)
+		}},
+	}
+}
+
+// TestGeneratorProperties asserts the contract every generator must satisfy
+// for every seed: a valid instance (positive volumes, endpoints inside the
+// network — inst.Validate), endpoints that are hosts specifically (switches
+// cannot source traffic), arrivals aligned with coflows and non-decreasing,
+// and flow releases never before their coflow's arrival.
+func TestGeneratorProperties(t *testing.T) {
+	for _, tc := range generatorCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			hosts := map[graph.NodeID]bool{}
+			for _, h := range tc.topology.Hosts() {
+				hosts[h] = true
+			}
+			for seed := int64(0); seed < 50; seed++ {
+				inst, arrivals, err := tc.generate(tc.topology, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := inst.Validate(false); err != nil {
+					t.Fatalf("seed %d: invalid instance: %v", seed, err)
+				}
+				if len(arrivals) != len(inst.Coflows) {
+					t.Fatalf("seed %d: %d arrivals for %d coflows", seed, len(arrivals), len(inst.Coflows))
+				}
+				for i := 1; i < len(arrivals); i++ {
+					if arrivals[i] < arrivals[i-1] {
+						t.Fatalf("seed %d: arrivals decrease at %d: %v < %v", seed, i, arrivals[i], arrivals[i-1])
+					}
+				}
+				for i, cf := range inst.Coflows {
+					for j, f := range cf.Flows {
+						if !hosts[f.Source] || !hosts[f.Dest] {
+							t.Fatalf("seed %d: coflow %d flow %d endpoints %v->%v not hosts", seed, i, j, f.Source, f.Dest)
+						}
+						if f.Release < arrivals[i] {
+							t.Fatalf("seed %d: coflow %d flow %d released at %v before arrival %v", seed, i, j, f.Release, arrivals[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	want := []string{"diurnal", "fan-in", "fan-out", "fb-trace", "heavy-tail", "incast", "uniform"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in scenario %q not registered (have %v)", w, names)
+		}
+	}
+	if _, ok := LookupScenario("uniform"); !ok {
+		t.Errorf("LookupScenario(uniform) failed")
+	}
+	if _, ok := LookupScenario("no-such-scenario"); ok {
+		t.Errorf("LookupScenario invented a scenario")
+	}
+}
+
+func TestRegisterScenarioRejectsBadInput(t *testing.T) {
+	if err := RegisterScenario(Scenario{Name: ""}); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if err := RegisterScenario(Scenario{Name: "x"}); err == nil {
+		t.Errorf("scenario without topology/generator accepted")
+	}
+	if err := RegisterScenario(Scenario{
+		Name:     "uniform", // duplicate of a built-in
+		Topology: func() *graph.Graph { return graph.Star(2, 1) },
+		Generate: func(g *graph.Graph, rng *rand.Rand) (*coflow.Instance, []float64, error) {
+			return nil, nil, nil
+		},
+	}); err == nil {
+		t.Errorf("duplicate name accepted")
+	}
+}
+
+// TestScenarioBuildDeterministic is the property the golden-file harness
+// rests on: building a scenario twice yields byte-identical instances.
+func TestScenarioBuildDeterministic(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			inst1, arr1, err := s.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			inst2, arr2, err := s.Build()
+			if err != nil {
+				t.Fatalf("Build (second): %v", err)
+			}
+			if !reflect.DeepEqual(inst1.Coflows, inst2.Coflows) {
+				t.Errorf("two builds produced different coflows")
+			}
+			if !reflect.DeepEqual(arr1, arr2) {
+				t.Errorf("two builds produced different arrivals")
+			}
+		})
+	}
+}
+
+// TestScenarioBuildValid runs the generator property contract over every
+// registered scenario (including any future registrations that pick up this
+// suite for free).
+func TestScenarioBuildValid(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			inst, arrivals, err := s.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if err := inst.Validate(false); err != nil {
+				t.Fatalf("invalid instance: %v", err)
+			}
+			if len(inst.Coflows) == 0 {
+				t.Fatalf("scenario built an empty instance")
+			}
+			if len(arrivals) != len(inst.Coflows) {
+				t.Fatalf("%d arrivals for %d coflows", len(arrivals), len(inst.Coflows))
+			}
+			hosts := map[graph.NodeID]bool{}
+			for _, h := range inst.Network.Hosts() {
+				hosts[h] = true
+			}
+			for i := 1; i < len(arrivals); i++ {
+				if arrivals[i] < arrivals[i-1] {
+					t.Fatalf("arrivals decrease at %d", i)
+				}
+			}
+			for i, cf := range inst.Coflows {
+				for j, f := range cf.Flows {
+					if !hosts[f.Source] || !hosts[f.Dest] {
+						t.Fatalf("coflow %d flow %d endpoints are not hosts", i, j)
+					}
+					if f.Release < arrivals[i] {
+						t.Fatalf("coflow %d flow %d releases before its arrival", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFBSampleTrace(t *testing.T) {
+	tr, err := FBSampleTrace()
+	if err != nil {
+		t.Fatalf("FBSampleTrace: %v", err)
+	}
+	if len(tr.Records) < 10 {
+		t.Errorf("sample trace has only %d records", len(tr.Records))
+	}
+}
