@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-sim
+.PHONY: build test race vet fmt bench bench-sim bench-cluster
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,8 @@ bench:
 # the Performance section of EXPERIMENTS.md for the methodology.
 bench-sim:
 	scripts/bench_sim.sh $(LABEL)
+
+# bench-cluster appends the 1/2/4/8-shard coflowgate scaling trajectory to
+# BENCH_sim.json (see the Cluster scaling section of EXPERIMENTS.md).
+bench-cluster:
+	scripts/bench_cluster.sh $(LABEL)

@@ -7,6 +7,8 @@
 //	coflowbench -experiment fig3 -paper    # the paper's 128-server configuration (slow)
 //	coflowbench -experiment sim -json      # simulator hot-path micro-suite (incremental vs naive)
 //	coflowbench -experiment sim -cpuprofile sim.prof  # profile the hot path for regression diagnosis
+//	coflowbench -experiment cluster        # shard-count scaling through an in-process coflowgate
+//	coflowbench -experiment cluster -shards 1,4 -coflows 400 -json
 //	coflowbench -scenario all              # every registered workload scenario x online policy
 //	coflowbench -scenario heavy-tail -json # one scenario, machine-readable
 //
@@ -63,7 +65,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("coflowbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, sim, scenarios, all")
+		experiment = fs.String("experiment", "all", "which experiment to run: fig1, table1, fig3, fig4, ablation, online, sim, scenarios, cluster, all")
+		shards     = fs.String("shards", "", "comma-separated shard counts for the cluster experiment (override)")
+		placement  = fs.String("placement", "", "gateway placement for the cluster experiment: hash, least-load (override)")
 		scenario   = fs.String("scenario", "", "run the scenario sweep for one registered scenario (or \"all\"); overrides -experiment")
 		paper      = fs.Bool("paper", false, "use the paper's full-scale configuration (128-server fat-tree, slow)")
 		fatK       = fs.Int("fatk", 0, "fat-tree arity k (overrides the configuration; k=8 is the paper's 128 servers)")
@@ -300,6 +304,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprint(stdout, res)
 		case "scenarios":
 			return runScenarios(nil)
+		case "cluster":
+			ccfg := experiments.DefaultClusterConfig()
+			if *shards != "" {
+				ss, err := parseInts(*shards)
+				if err != nil {
+					return err
+				}
+				ccfg.ShardCounts = ss
+			}
+			if *placement != "" {
+				ccfg.Placement = *placement
+			}
+			if *coflows > 0 {
+				ccfg.Coflows = *coflows
+			}
+			if *width > 0 {
+				ccfg.Width = *width
+			}
+			if *seed != 0 {
+				ccfg.Seed = *seed
+			}
+			if *fatK > 0 {
+				ccfg.FatK = *fatK
+			}
+			res, err := experiments.ClusterSweep(ccfg)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return emitJSON(name, ccfg, res)
+			}
+			fmt.Fprintln(stdout, "Cluster scaling: identical workload through coflowgate, growing shard counts")
+			fmt.Fprint(stdout, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -307,7 +344,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online", "sim", "scenarios"} {
+		for _, name := range []string{"fig1", "table1", "fig3", "fig4", "ablation", "online", "sim", "scenarios", "cluster"} {
 			if !*jsonOut {
 				fmt.Fprintf(stdout, "=== %s ===\n", name)
 			}

@@ -46,6 +46,7 @@ func main() {
 		timeScale  = flag.Float64("timescale", 1.0, "simulated time units per wall-clock second")
 		fatK       = flag.Int("fatk", 4, "fat-tree arity (k=4: 16 servers, k=8: the paper's 128)")
 		candidates = flag.Int("paths", 4, "candidate paths per flow at admission")
+		shard      = flag.String("shard", "", "cluster shard identity: labels every /metrics series with {shard=\"...\"} so gateway-scraped backends stay distinguishable")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		EpochLength:    *epochLen,
 		TimeScale:      *timeScale,
 		CandidatePaths: *candidates,
+		Shard:          *shard,
 		Logf:           log.Printf,
 	})
 	if err != nil {

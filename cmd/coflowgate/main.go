@@ -1,0 +1,181 @@
+// Command coflowgate is the cluster front door: a gateway that shards
+// admitted coflows across N coflowd backends (each an independent fabric)
+// and serves the same /v1/* JSON API as a single daemon by fanning out.
+//
+// Two topologies:
+//
+//	coflowgate -addr :8090 -backends http://s1:8080,http://s2:8080 -placement hash
+//	coflowgate -addr :8090 -local 4 -policy sebf -timescale 10
+//
+// With -backends the gateway fronts already-running coflowd daemons (start
+// them with distinct -shard labels so their /metrics stay distinguishable).
+// With -local N it spins up N in-process shards on loopback listeners — the
+// zero-setup way to run a whole cluster in one process, the same harness the
+// tests and coflowbench -experiment cluster use.
+//
+// Endpoints are coflowd's, served by scatter-gather:
+//
+//	POST /v1/coflows       place on one shard (batched; consistent-hash or least-load)
+//	GET  /v1/coflows/{id}  follows the coflow to its current shard
+//	GET  /v1/schedule      merged residual priority orders (gateway ids)
+//	GET  /v1/stats         merged objectives, counters and percentile reservoirs
+//	GET  /v1/network       shard topology (all shards are built alike)
+//	GET  /v1/backends      shard roster with health state
+//	GET  /healthz          gateway + shard health
+//	GET  /metrics          coflowgate_* text metrics, per-backend labelled
+//
+// Backends are health-checked; a failing shard is ejected with exponential
+// re-probe backoff and its in-flight coflows are re-admitted on the
+// survivors. On SIGINT/SIGTERM a -local gateway drains its shards and dumps
+// the merged final statistics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"coflowsched/internal/cluster"
+	"coflowsched/internal/online"
+	"coflowsched/internal/stats"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "coflowgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with injectable arguments and streams (smoke-testable without
+// exec'ing a binary). It serves until ctx is cancelled.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("coflowgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", ":8090", "listen address")
+		backends       = fs.String("backends", "", "comma-separated coflowd base URLs to front")
+		local          = fs.Int("local", 0, "spin up this many in-process shards instead of -backends")
+		placementName  = fs.String("placement", "hash", "shard placement: hash (consistent), least-load")
+		batch          = fs.Int("batch", 16, "admit batch size (flush on this many pending admissions)")
+		batchInterval  = fs.Duration("batch-interval", 5*time.Millisecond, "admit batch flush deadline")
+		healthInterval = fs.Duration("health-interval", time.Second, "backend probe period")
+		policyName     = fs.String("policy", "sebf", "shard policy for -local: sebf, fifo, lp")
+		epochLen       = fs.Float64("epoch", 2.0, "shard epoch length for -local")
+		timeScale      = fs.Float64("timescale", 1.0, "shard simulated time units per wall second for -local")
+		fatK           = fs.Int("fatk", 4, "shard fat-tree arity for -local")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*backends == "") == (*local == 0) {
+		return errors.New("exactly one of -backends or -local is required")
+	}
+	placement, err := cluster.ParsePlacement(*placementName)
+	if err != nil {
+		return err
+	}
+	gcfg := cluster.Config{
+		Placement:      placement,
+		HealthInterval: *healthInterval,
+		BatchSize:      *batch,
+		BatchInterval:  *batchInterval,
+		Logf:           log.Printf,
+	}
+
+	var g *cluster.Gateway
+	var localCluster *cluster.Local
+	if *local > 0 {
+		policies := map[string]online.Policy{
+			"sebf": online.SEBFOnline{},
+			"fifo": online.FIFOOnline{},
+			"lp":   online.LPEpoch{},
+		}
+		policy, ok := policies[*policyName]
+		if !ok {
+			return fmt.Errorf("unknown policy %q (want sebf, fifo, lp)", *policyName)
+		}
+		localCluster, err = cluster.NewLocal(cluster.LocalConfig{
+			Shards:      *local,
+			Policy:      policy,
+			EpochLength: *epochLen,
+			TimeScale:   *timeScale,
+			FatK:        *fatK,
+			Gateway:     gcfg,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer localCluster.Close()
+		g = localCluster.Gateway
+		log.Printf("coflowgate: %d in-process shards (policy %s, k=%d fat-tree each)", *local, *policyName, *fatK)
+	} else {
+		g = cluster.New(gcfg)
+		defer g.Close()
+		for i, url := range strings.Split(*backends, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			if err := g.AddBackend(fmt.Sprintf("backend%d", i), url); err != nil {
+				return err
+			}
+		}
+		if len(g.Backends()) == 0 {
+			return errors.New("-backends named no usable URLs")
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: g.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("coflowgate: listening on %s fronting %d backend(s), placement %s",
+		*addr, len(g.Backends()), placement.Name())
+
+	select {
+	case <-ctx.Done():
+		log.Printf("coflowgate: signal received, shutting down")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("coflowgate: http shutdown: %v", err)
+	}
+	if localCluster != nil {
+		merged, err := localCluster.DrainAll()
+		if err != nil {
+			log.Printf("coflowgate: drain: %v", err)
+		} else {
+			dumpMerged(merged)
+		}
+	}
+	return nil
+}
+
+// dumpMerged prints the end-of-run merged statistics the way coflowd does.
+func dumpMerged(st online.EngineStats) {
+	p := func(xs []float64, q float64) float64 { return stats.PercentileOr(xs, q, 0) }
+	log.Printf("coflowgate: final: admitted=%d completed=%d epochs=%d decisions=%d",
+		st.Admitted, st.Completed, st.Epochs, st.Decisions)
+	log.Printf("coflowgate: final: weighted_cct=%.2f weighted_response=%.2f", st.WeightedCCT, st.WeightedResponse)
+	log.Printf("coflowgate: final: slowdown p50/p95/p99 = %.2f/%.2f/%.2f",
+		p(st.Slowdowns, 50), p(st.Slowdowns, 95), p(st.Slowdowns, 99))
+}

@@ -9,6 +9,13 @@
 //	coflowload -scenario heavy-tail -speedup 4 -wait
 //	coflowload -trace fb.csv -speedup 10 -wait
 //
+// With -cluster N the target is replaced by an in-process cluster: N coflowd
+// shards behind a coflowgate gateway, all on loopback listeners (the same
+// harness coflowbench -experiment cluster uses). That makes shard-count
+// scaling measurable from one command with no daemons to start:
+//
+//	coflowload -cluster 4 -coflows 400 -rate 1000 -cluster-timescale 50 -wait
+//
 // The default mode generates a Poisson process (workload.GenerateArrivals)
 // remapped onto the daemon's actual topology (fetched from GET /v1/network).
 // With -scenario or -trace, the named registry scenario or parsed trace file
@@ -29,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"coflowsched/internal/cluster"
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
 	"coflowsched/internal/server"
@@ -69,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wait        = fs.Bool("wait", false, "poll until every admitted coflow completes")
 		waitTimeout = fs.Duration("wait-timeout", 60*time.Second, "completion polling budget with -wait")
 		quiet       = fs.Bool("quiet", false, "suppress progress logging")
+
+		clusterN  = fs.Int("cluster", 0, "replay against an in-process cluster of this many coflowd shards behind a coflowgate gateway (overrides -target)")
+		placement = fs.String("cluster-placement", "hash", "gateway placement with -cluster: hash, least-load")
+		timescale = fs.Float64("cluster-timescale", 50, "shard simulated time units per wall second with -cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,18 +121,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Instance, cfg.Arrivals = inst, arrivals
 	}
 
-	c := server.NewClient(*target)
-	health, err := c.Health()
-	if err != nil {
-		return fmt.Errorf("daemon unreachable at %s: %v", *target, err)
-	}
 	logf := func(format string, args ...any) {
 		if !*quiet {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
+	targetURL := *target
+	if *clusterN > 0 {
+		pl, err := cluster.ParsePlacement(*placement)
+		if err != nil {
+			return err
+		}
+		local, err := cluster.NewLocal(cluster.LocalConfig{
+			Shards:    *clusterN,
+			TimeScale: *timescale,
+			Gateway:   cluster.Config{Placement: pl},
+			Logf:      logf,
+		})
+		if err != nil {
+			return fmt.Errorf("starting in-process cluster: %v", err)
+		}
+		defer local.Close()
+		targetURL = local.URL()
+		logf("coflowload: in-process cluster of %d shards at %s (%s placement)", *clusterN, targetURL, pl.Name())
+	}
+
+	c := server.NewClient(targetURL)
+	health, err := c.Health()
+	if err != nil {
+		return fmt.Errorf("daemon unreachable at %s: %v", targetURL, err)
+	}
 	cfg.Logf = logf
-	logf("coflowload: target %s healthy (policy %s, sim clock %.2f)", *target, health.Policy, health.Now)
+	logf("coflowload: target %s healthy (policy %s, sim clock %.2f)", targetURL, health.Policy, health.Now)
 	if cfg.Instance != nil {
 		logf("coflowload: replaying %d coflows (%d flows) at %gx compression",
 			len(cfg.Instance.Coflows), cfg.Instance.NumFlows(), *speedup)

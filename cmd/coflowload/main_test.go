@@ -76,3 +76,28 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Errorf("missing daemon stats line:\n%s", out)
 	}
 }
+
+// TestRunClusterMode spins the in-process cluster behind the new -cluster
+// flag and replays a small workload through the gateway to completion.
+func TestRunClusterMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-cluster", "2", "-cluster-timescale", "200",
+		"-coflows", "12", "-rate", "500", "-wait", "-quiet",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run -cluster: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "failures=0") || !strings.Contains(out, "completed=12") {
+		t.Errorf("unexpected cluster replay report:\n%s", out)
+	}
+	if !strings.Contains(out, "daemon: admitted=12 completed=12") {
+		t.Errorf("missing merged stats line:\n%s", out)
+	}
+
+	// Bad cluster placement fails fast.
+	if err := run([]string{"-cluster", "2", "-cluster-placement", "nope"}, &stdout, &stderr); err == nil {
+		t.Error("bogus cluster placement accepted")
+	}
+}

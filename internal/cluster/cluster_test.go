@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
+	"coflowsched/internal/server"
+	"coflowsched/internal/workload"
+)
+
+// fastGatewayConfig is tuned for tests: quick probes, single-failure
+// ejection, no client retries (failures surface immediately).
+func fastGatewayConfig(t *testing.T, placement Placement) Config {
+	return Config{
+		Placement:       placement,
+		HealthInterval:  20 * time.Millisecond,
+		FailThreshold:   1,
+		BackoffMax:      200 * time.Millisecond,
+		BatchSize:       8,
+		BatchInterval:   2 * time.Millisecond,
+		ClientTimeout:   2 * time.Second,
+		ClientRetries:   1,
+		ClientRetryBase: 5 * time.Millisecond,
+		Logf:            t.Logf,
+	}
+}
+
+func newLocalCluster(t *testing.T, shards int, placement Placement, timeScale float64) *Local {
+	t.Helper()
+	l, err := NewLocal(LocalConfig{
+		Shards:    shards,
+		Policy:    online.SEBFOnline{},
+		TimeScale: timeScale,
+		Gateway:   fastGatewayConfig(t, placement),
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new local cluster: %v", err)
+	}
+	t.Cleanup(l.Close)
+	return l
+}
+
+// TestClusterScenarioReplay is the CI cluster smoke: a 3-shard in-process
+// cluster replays the uniform scenario through the gateway; every coflow
+// must complete and the merged statistics must be coherent.
+func TestClusterScenarioReplay(t *testing.T) {
+	l := newLocalCluster(t, 3, ConsistentHash{}, 200)
+	c := l.Client()
+
+	sc, ok := workload.LookupScenario("uniform")
+	if !ok {
+		t.Fatal("uniform scenario not registered")
+	}
+	inst, arrivals, err := sc.Build()
+	if err != nil {
+		t.Fatalf("build scenario: %v", err)
+	}
+	report, err := server.RunLoad(c, server.LoadConfig{
+		Instance:     inst,
+		Arrivals:     arrivals,
+		SpeedUp:      50, // compress the ~5 simulated-time-unit arrival span
+		Concurrency:  4,
+		WaitComplete: true,
+		WaitTimeout:  60 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("replay through gateway: %v", err)
+	}
+	if report.Failures != 0 {
+		t.Fatalf("replay had %d failures (first: %s)", report.Failures, report.FirstError)
+	}
+	want := len(inst.Coflows)
+	if report.Completed != want {
+		t.Fatalf("completed %d of %d coflows", report.Completed, want)
+	}
+
+	// Merged stats must agree with the gateway's own accounting and be sane.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("gateway stats: %v", err)
+	}
+	if st.Admitted != want || st.Completed != want {
+		t.Errorf("merged admitted/completed = %d/%d, want %d/%d", st.Admitted, st.Completed, want, want)
+	}
+	if st.Active != 0 {
+		t.Errorf("merged active = %d, want 0", st.Active)
+	}
+	if st.WeightedResponse <= 0 || st.WeightedCCT <= 0 {
+		t.Errorf("merged objectives not positive: cct=%v response=%v", st.WeightedCCT, st.WeightedResponse)
+	}
+	if st.SlowdownP50 < 1-1e-9 {
+		t.Errorf("merged slowdown p50 = %v, want >= 1 (response cannot beat the isolated bottleneck)", st.SlowdownP50)
+	}
+	if st.SlowdownP95 < st.SlowdownP50 {
+		t.Errorf("slowdown p95 %v < p50 %v", st.SlowdownP95, st.SlowdownP50)
+	}
+
+	// The coflows really are spread: with 10 coflows hash-placed on 3 shards,
+	// at least two shards must have seen work.
+	used := 0
+	for i := 0; i < l.NumShards(); i++ {
+		ss, err := l.Shard(i).Stats()
+		if err != nil {
+			t.Fatalf("shard %d stats: %v", i, err)
+		}
+		if ss.Admitted > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d shard(s) received coflows; placement did not spread", used)
+	}
+
+	// Per-coflow status is served under gateway ids.
+	cf, err := c.Coflow(0)
+	if err != nil {
+		t.Fatalf("coflow 0: %v", err)
+	}
+	if cf.ID != 0 || !cf.Done || cf.CCT == nil {
+		t.Errorf("coflow 0 status %+v, want done with CCT", cf)
+	}
+	if _, err := c.Coflow(want + 7); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown gateway id error = %v, want 404", err)
+	}
+}
+
+// TestClusterFailover: a backend dies mid-run; its in-flight coflows are
+// re-admitted on the survivors, the backend is ejected, and after a revive
+// it rejoins the rotation and receives new work. Every coflow completes.
+func TestClusterFailover(t *testing.T) {
+	l := newLocalCluster(t, 3, LeastLoad{}, 1) // slow clock: coflows stay in flight
+	c := l.Client()
+
+	hosts := graph.FatTree(4, 1).Hosts()
+	mkCoflow := func(name string, size float64) coflow.Coflow {
+		return coflow.Coflow{
+			Name: name, Weight: 1,
+			Flows: []coflow.Flow{
+				{Source: hosts[0], Dest: hosts[5], Size: size},
+				{Source: hosts[3], Dest: hosts[9], Size: size},
+			},
+		}
+	}
+	const n = 9
+	for i := 0; i < n; i++ {
+		if _, err := c.Admit(mkCoflow("job", 50)); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	// Least-load over 3 empty shards spreads 9 coflows 3/3/3.
+	victimStats, err := l.Shard(1).Stats()
+	if err != nil {
+		t.Fatalf("victim stats: %v", err)
+	}
+	if victimStats.Admitted == 0 {
+		t.Fatal("victim shard received no coflows; test cannot exercise failover")
+	}
+
+	l.Kill(1)
+	// The health loop must eject the victim and re-admit its coflows on the
+	// survivors: the gateway-level coflow count stays n, and the surviving
+	// shards' admitted totals grow to n.
+	waitFor(t, 5*time.Second, "ejection and re-admission", func() bool {
+		cs := l.Gateway.CountersSnapshot()
+		if cs.Healthy != 2 || cs.Readmits < victimStats.Admitted {
+			return false
+		}
+		total := 0
+		for i := 0; i < l.NumShards(); i++ {
+			if srv := l.Shard(i); srv != nil {
+				st, err := srv.Stats()
+				if err != nil {
+					return false
+				}
+				total += st.Admitted
+			}
+		}
+		return total >= n
+	})
+
+	// While down, the ejected shard is reported unhealthy.
+	var down *BackendStatus
+	for _, bs := range l.Gateway.Backends() {
+		if bs.Name == "shard1" {
+			down = &bs
+		}
+	}
+	if down == nil || down.Healthy {
+		t.Fatalf("shard1 not reported ejected: %+v", down)
+	}
+	if down.Ejections == 0 {
+		t.Errorf("shard1 ejection not counted: %+v", down)
+	}
+
+	// Revive: the exponential-backoff probe must re-admit it.
+	if err := l.Revive(1); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	waitFor(t, 5*time.Second, "re-admission to rotation", func() bool {
+		return l.Gateway.CountersSnapshot().Healthy == 3
+	})
+
+	// New work flows to the revived (now least-loaded, empty) shard.
+	if _, err := c.Admit(mkCoflow("after-revive", 1)); err != nil {
+		t.Fatalf("admit after revive: %v", err)
+	}
+	revived := l.Shard(1)
+	if revived == nil {
+		t.Fatal("revived shard has no server")
+	}
+	rs, err := revived.Stats()
+	if err != nil {
+		t.Fatalf("revived stats: %v", err)
+	}
+	if rs.Admitted == 0 {
+		t.Errorf("revived shard received no new work under least-load placement")
+	}
+
+	// Run everything dry: every gateway coflow must report done, including
+	// the re-admitted ones.
+	if _, err := l.DrainAll(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for gid := 0; gid <= n; gid++ {
+		waitFor(t, 10*time.Second, "completion", func() bool {
+			st, err := c.Coflow(gid)
+			return err == nil && st.Done
+		})
+	}
+	cs := l.Gateway.CountersSnapshot()
+	if cs.Completed != n+1 {
+		t.Errorf("gateway observed %d completions, want %d", cs.Completed, n+1)
+	}
+}
+
+// TestClusterBatching: admissions flush by count and by interval; both paths
+// land coflows on shards.
+func TestClusterBatching(t *testing.T) {
+	cfg := fastGatewayConfig(t, ConsistentHash{})
+	cfg.BatchSize = 4
+	cfg.BatchInterval = 30 * time.Millisecond
+	l, err := NewLocal(LocalConfig{
+		Shards: 2, TimeScale: 100,
+		Gateway: cfg, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new local: %v", err)
+	}
+	t.Cleanup(l.Close)
+	c := l.Client()
+	hosts := graph.FatTree(4, 1).Hosts()
+	cf := coflow.Coflow{Name: "b", Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[1], Size: 1}}}
+
+	// A single admission cannot fill the batch; only the interval flushes it.
+	start := time.Now()
+	if _, err := c.Admit(cf); err != nil {
+		t.Fatalf("interval-flushed admit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("interval flush took %v", elapsed)
+	}
+
+	// A burst flushes by count (from concurrent clients, as in RunLoad).
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.Admit(cf)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("burst admit: %v", err)
+		}
+	}
+	if got := l.Gateway.CountersSnapshot().Coflows; got != 9 {
+		t.Errorf("gateway tracked %d coflows, want 9", got)
+	}
+}
+
+// TestGatewayNoBackends: with every backend gone, admissions fail with 503
+// and healthz reports degraded.
+func TestGatewayNoBackends(t *testing.T) {
+	l := newLocalCluster(t, 1, ConsistentHash{}, 100)
+	c := l.Client()
+	l.Kill(0)
+	waitFor(t, 5*time.Second, "ejection", func() bool {
+		return l.Gateway.CountersSnapshot().Healthy == 0
+	})
+	hosts := graph.FatTree(4, 1).Hosts()
+	_, err := c.Admit(coflow.Coflow{Name: "x", Weight: 1, Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[1], Size: 1}}})
+	if err == nil {
+		t.Fatal("admit with no backends succeeded")
+	}
+	if _, err := c.Health(); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("healthz with no backends = %v, want 503", err)
+	}
+}
+
+// TestGatewayValidationPassThrough: a coflow the shard rejects as malformed
+// comes back 400 and is not retried across shards.
+func TestGatewayValidationPassThrough(t *testing.T) {
+	l := newLocalCluster(t, 2, ConsistentHash{}, 100)
+	c := l.Client()
+	// Endpoints outside every shard's network.
+	_, err := c.Admit(coflow.Coflow{Name: "bad", Weight: 1, Flows: []coflow.Flow{{Source: 9000, Dest: 9001, Size: 1}}})
+	if err == nil {
+		t.Fatal("invalid coflow admitted")
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Errorf("validation error = %v, want a 400", err)
+	}
+	if got := l.Gateway.CountersSnapshot().Healthy; got != 2 {
+		t.Errorf("validation failure cost a backend: healthy=%d", got)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCompletionSweep: the gateway converges on completions by itself — no
+// client ever polls /v1/coflows/{id}, yet the completed counter rises, the
+// outstanding counts drop back to zero, and the retained failover specs are
+// released.
+func TestCompletionSweep(t *testing.T) {
+	l := newLocalCluster(t, 2, ConsistentHash{}, 500)
+	c := l.Client()
+	hosts := graph.FatTree(4, 1).Hosts()
+	const n = 6
+	for i := 0; i < n; i++ {
+		cf := coflow.Coflow{Name: "fire-and-forget", Weight: 1,
+			Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[7], Size: 1}}}
+		if _, err := c.Admit(cf); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	waitFor(t, 10*time.Second, "sweep-observed completions", func() bool {
+		return l.Gateway.CountersSnapshot().Completed == n
+	})
+	for _, bs := range l.Gateway.Backends() {
+		if bs.Outstanding != 0 {
+			t.Errorf("backend %s still reports %d outstanding", bs.Name, bs.Outstanding)
+		}
+	}
+}
+
+// TestLeastLoadSpreadsConcurrentBatch: placement reserves the slot before
+// the HTTP admission, so a batch of concurrent admissions spreads across
+// shards instead of all reading the same pre-admission load counts.
+func TestLeastLoadSpreadsConcurrentBatch(t *testing.T) {
+	l := newLocalCluster(t, 2, LeastLoad{}, 1) // slow clock: nothing completes mid-test
+	c := l.Client()
+	hosts := graph.FatTree(4, 1).Hosts()
+	cf := coflow.Coflow{Name: "burst", Weight: 1,
+		Flows: []coflow.Flow{{Source: hosts[0], Dest: hosts[10], Size: 30}}}
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := c.Admit(cf)
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("burst admit: %v", err)
+		}
+	}
+	for _, bs := range l.Gateway.Backends() {
+		if bs.Outstanding < 2 {
+			t.Errorf("backend %s got %d of %d concurrent admissions; least-load did not spread: %+v",
+				bs.Name, bs.Outstanding, n, l.Gateway.Backends())
+		}
+	}
+}

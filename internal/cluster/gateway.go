@@ -1,0 +1,934 @@
+// Package cluster turns N independent coflowd daemons into one horizontally
+// sharded scheduling service. Each backend owns a complete fabric of its own
+// (the paper's schedulers are analyzed per-fabric, so a shard is the natural
+// scaling unit); the gateway is the front door that places every admitted
+// coflow on exactly one shard and answers the same /v1/* JSON API as a single
+// coflowd by fanning out: Admit routes to one shard through a batching queue,
+// Stats and Schedule scatter-gather and merge, per-coflow status follows the
+// coflow to whichever shard currently owns it.
+//
+// Fault model: backends are health-checked continuously. A backend that fails
+// consecutive probes (or admissions) is ejected; its in-flight coflows are
+// re-admitted on the surviving shards (restarting from zero — shards share no
+// state), and the ejected backend is re-probed with exponentially backed-off
+// intervals until it answers again, at which point it rejoins the placement
+// rotation.
+//
+// Concurrency model: one mutex guards the routing table (gateway id ->
+// backend + backend-local id) and backend health state. All network I/O —
+// admissions, probes, scatter-gathers — happens outside the lock against
+// snapshots, so a slow shard never wedges the gateway.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/online"
+	"coflowsched/internal/server"
+)
+
+// Config parameterizes the gateway.
+type Config struct {
+	// Placement picks a shard per coflow (default ConsistentHash).
+	Placement Placement
+	// HealthInterval is the probe period for healthy backends and the first
+	// re-probe backoff for ejected ones (default 1s).
+	HealthInterval time.Duration
+	// FailThreshold is the number of consecutive probe/admission failures
+	// that ejects a healthy backend (default 2).
+	FailThreshold int
+	// BackoffMax caps the exponential re-probe backoff (default 30s).
+	BackoffMax time.Duration
+	// BatchSize flushes the admit queue when this many admissions are
+	// pending (default 16); BatchInterval flushes whatever has gathered after
+	// this long regardless (default 5ms). A flush admits its whole batch to
+	// the shards concurrently.
+	BatchSize     int
+	BatchInterval time.Duration
+	// ClientTimeout, ClientRetries and ClientRetryBase configure the
+	// per-backend HTTP clients (defaults: 5s, 2 retries, 50ms base backoff).
+	// Set ClientRetries to -1 to disable retrying entirely (exactly-once
+	// shard admission at the cost of availability; see the at-least-once
+	// caveat on server.Client).
+	ClientTimeout   time.Duration
+	ClientRetries   int
+	ClientRetryBase time.Duration
+	// Logf receives operational log lines (ejections, re-admissions).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Placement == nil {
+		c.Placement = ConsistentHash{}
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 30 * time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = 5 * time.Millisecond
+	}
+	if c.ClientTimeout <= 0 {
+		c.ClientTimeout = 5 * time.Second
+	}
+	if c.ClientRetries < 0 {
+		c.ClientRetries = 0
+	} else if c.ClientRetries == 0 {
+		c.ClientRetries = 2
+	}
+	if c.ClientRetryBase <= 0 {
+		c.ClientRetryBase = 50 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// errClosed is returned for operations after Close.
+var errClosed = errors.New("cluster: gateway closed")
+
+// errNoBackend rejects admissions when no healthy shard remains.
+var errNoBackend = errors.New("cluster: no healthy backend available")
+
+// errNoFlows rejects structurally empty coflows at the gateway, before any
+// shard is bothered.
+var errNoFlows = errors.New("cluster: coflow has no flows")
+
+// Backend is one coflowd shard as the gateway sees it. All mutable fields
+// are guarded by the gateway mutex; the client is immutable and used outside
+// the lock.
+type Backend struct {
+	name   string
+	url    string
+	client *server.Client
+	// probe is a non-retrying client for health checks: a failed probe is
+	// itself the signal the health loop collects, and client-level retries
+	// would multiply a hung backend's detection latency by the retry budget.
+	probe *server.Client
+
+	healthy   bool
+	failures  int           // consecutive probe/admit failures while healthy
+	backoff   time.Duration // current re-probe backoff while unhealthy
+	nextProbe time.Time     // earliest next probe while unhealthy
+	ejections int
+
+	// outstanding counts coflows placed here and not yet observed complete;
+	// local maps this backend's coflow ids back to gateway ids.
+	outstanding int
+	local       map[int]int
+}
+
+// BackendStatus is the exported snapshot of one backend (GET /v1/backends).
+type BackendStatus struct {
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	Outstanding int    `json:"outstanding"`
+	Ejections   int    `json:"ejections"`
+}
+
+// routed tracks one gateway-admitted coflow through its life: queued ->
+// placed on a shard -> (possibly re-admitted elsewhere after a failure) ->
+// observed complete. The spec is retained until completion so a dead shard's
+// in-flight coflows can be replayed on a survivor.
+type routed struct {
+	spec     coflow.Coflow
+	backend  *Backend // nil while queued or orphaned by an ejection
+	localID  int
+	arrival  float64 // shard-local admission clock, echoed to the client
+	admitted bool
+	failed   bool // admission failed terminally (validation, or initial 503)
+	// orphaned marks an acknowledged coflow detached by an ejection and not
+	// yet re-placed; if no backend is healthy at failover time it stays set,
+	// and the next backend recovery re-places it (applyProbe).
+	orphaned bool
+	done     bool
+	final    server.CoflowResponse // cached once done
+	readmits int
+}
+
+type admitItem struct {
+	gid  int
+	done chan error
+}
+
+// Gateway is the cluster front door.
+type Gateway struct {
+	cfg   Config
+	start time.Time
+
+	mu        sync.Mutex
+	backends  []*Backend
+	coflows   []*routed
+	completed int // coflows observed done through the gateway
+	readmits  int // re-admissions performed after ejections
+
+	queue     chan admitItem
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	requests      atomic.Int64
+	requestErrors atomic.Int64
+	sweeping      atomic.Bool
+}
+
+// New builds and starts a gateway: the admit batcher and the health prober
+// begin immediately. Callers must Close it. Backends are added with
+// AddBackend.
+func New(cfg Config) *Gateway {
+	g := &Gateway{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+		queue: make(chan admitItem),
+		quit:  make(chan struct{}),
+	}
+	g.wg.Add(2)
+	go g.batcher()
+	go g.healthLoop()
+	return g
+}
+
+// Close stops the gateway's goroutines. In-flight admissions fail with a
+// closed error. Safe to call more than once.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.quit) })
+	g.wg.Wait()
+}
+
+// newBackendClient builds the hardened client the gateway talks to one shard
+// with.
+func (g *Gateway) newBackendClient(url string) *server.Client {
+	return server.NewClient(url,
+		server.WithTimeout(g.cfg.ClientTimeout),
+		server.WithRetries(g.cfg.ClientRetries, g.cfg.ClientRetryBase))
+}
+
+// AddBackend registers a shard under a unique name. It enters the placement
+// rotation immediately and optimistically healthy; the prober corrects that
+// within one interval if it is not.
+func (g *Gateway) AddBackend(name, url string) error {
+	if name == "" {
+		return errors.New("cluster: backend needs a name")
+	}
+	b := &Backend{
+		name:   name,
+		url:    url,
+		client: g.newBackendClient(url),
+		probe: server.NewClient(url,
+			server.WithTimeout(g.cfg.ClientTimeout),
+			server.WithRetries(0, 0)),
+		healthy: true,
+		local:   make(map[int]int),
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, have := range g.backends {
+		if have.name == name {
+			return fmt.Errorf("cluster: backend %q already registered", name)
+		}
+	}
+	g.backends = append(g.backends, b)
+	return nil
+}
+
+// RemoveBackend ejects a shard permanently; its in-flight coflows are
+// re-admitted on the survivors.
+func (g *Gateway) RemoveBackend(name string) error {
+	g.mu.Lock()
+	var orphans []int
+	idx := -1
+	for i, b := range g.backends {
+		if b.name == name {
+			idx = i
+			orphans = g.ejectLocked(b)
+			break
+		}
+	}
+	if idx < 0 {
+		g.mu.Unlock()
+		return fmt.Errorf("cluster: unknown backend %q", name)
+	}
+	g.backends = append(g.backends[:idx], g.backends[idx+1:]...)
+	g.mu.Unlock()
+	g.readmitOrphans(orphans)
+	return nil
+}
+
+// Backends snapshots the roster.
+func (g *Gateway) Backends() []BackendStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]BackendStatus, len(g.backends))
+	for i, b := range g.backends {
+		out[i] = BackendStatus{
+			Name: b.name, URL: b.url, Healthy: b.healthy,
+			Outstanding: b.outstanding, Ejections: b.ejections,
+		}
+	}
+	return out
+}
+
+// healthyLocked returns the healthy backends not in skip. Caller holds mu.
+func (g *Gateway) healthyLocked(skip map[*Backend]bool) []*Backend {
+	var out []*Backend
+	for _, b := range g.backends {
+		if b.healthy && !skip[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Admit assigns a gateway id, queues the coflow for batched placement, and
+// waits for the shard admission to finish. Flow Release fields are offsets
+// from admission, exactly as coflowd defines them; the returned arrival is on
+// the owning shard's clock.
+func (g *Gateway) Admit(cf coflow.Coflow) (server.AdmitResponse, error) {
+	if len(cf.Flows) == 0 {
+		return server.AdmitResponse{}, errNoFlows
+	}
+	g.mu.Lock()
+	gid := len(g.coflows)
+	rc := &routed{spec: cf}
+	g.coflows = append(g.coflows, rc)
+	g.mu.Unlock()
+
+	item := admitItem{gid: gid, done: make(chan error, 1)}
+	select {
+	case g.queue <- item:
+	case <-g.quit:
+		return server.AdmitResponse{}, errClosed
+	}
+	select {
+	case err := <-item.done:
+		if err != nil {
+			return server.AdmitResponse{}, err
+		}
+	case <-g.quit:
+		return server.AdmitResponse{}, errClosed
+	}
+	g.mu.Lock()
+	resp := server.AdmitResponse{ID: gid, Name: cf.Name, Arrival: rc.arrival}
+	g.mu.Unlock()
+	return resp, nil
+}
+
+// batcher drains the admit queue in batches: a batch flushes when it reaches
+// BatchSize or when BatchInterval elapses after its first entry, whichever
+// comes first. Each flush admits its items to the shards concurrently and
+// asynchronously — the batcher goes straight back to accepting, so one slow
+// shard admission delays its own caller but never stalls the queue.
+func (g *Gateway) batcher() {
+	defer g.wg.Done()
+	var batch []admitItem
+	timer := time.NewTimer(g.cfg.BatchInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	flush := func() {
+		items := batch
+		batch = nil
+		for _, it := range items {
+			go func(it admitItem) {
+				it.done <- g.place(it.gid, true)
+			}(it)
+		}
+	}
+	for {
+		select {
+		case it := <-g.queue:
+			if len(batch) == 0 {
+				timer.Reset(g.cfg.BatchInterval)
+			}
+			batch = append(batch, it)
+			if len(batch) >= g.cfg.BatchSize {
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		case <-g.quit:
+			for _, it := range batch {
+				it.done <- errClosed
+			}
+			return
+		}
+	}
+}
+
+// place routes one gateway coflow onto a shard and admits it, falling back
+// to the next placement candidate when a backend fails (availability errors
+// only — a validation rejection is terminal, the coflow is malformed
+// everywhere). initial distinguishes first placement (a failure is returned
+// to the waiting HTTP caller and is terminal for this gateway id) from
+// post-ejection re-admission of a coflow the gateway already acknowledged
+// with 201 — there a transient "no healthy backend" leaves the coflow
+// pending, to be re-placed when a backend recovers (see applyProbe).
+func (g *Gateway) place(gid int, initial bool) error {
+	tried := make(map[*Backend]bool)
+	for {
+		g.mu.Lock()
+		rc := g.coflows[gid]
+		if rc.done || rc.admitted {
+			g.mu.Unlock()
+			return nil // re-placed concurrently (e.g. failover raced a retry)
+		}
+		cands := g.healthyLocked(tried)
+		if len(cands) == 0 {
+			if initial {
+				rc.failed = true // the caller sees the 503; the id is dead
+			}
+			g.mu.Unlock()
+			return errNoBackend
+		}
+		b := g.cfg.Placement.Place(gid, rc.spec, cands)
+		// Reserve the slot before the HTTP round trip so a concurrent flush
+		// sees this backend's load: without the reservation, least-load
+		// would route a whole batch to one shard (every placement reading
+		// the same pre-admission counts).
+		b.outstanding++
+		spec := rc.spec
+		g.mu.Unlock()
+
+		unreserve := func() {
+			g.mu.Lock()
+			if b.healthy && b.outstanding > 0 { // ejection already reset the count
+				b.outstanding--
+			}
+			g.mu.Unlock()
+		}
+		resp, err := b.client.Admit(spec)
+		if err != nil {
+			unreserve()
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) && terminalStatus(apiErr.StatusCode) {
+				g.mu.Lock()
+				rc.failed = true
+				g.mu.Unlock()
+				return err // the shard rejected the coflow itself; do not spread it
+			}
+			tried[b] = true
+			g.noteBackendFailure(b, err)
+			continue
+		}
+		g.mu.Lock()
+		if rc.admitted || rc.done {
+			// Someone else placed this coflow while our admission was in
+			// flight (a recovery re-placement racing the batcher). Keep the
+			// earlier booking; our copy on b is an orphan.
+			if b.healthy && b.outstanding > 0 {
+				b.outstanding--
+			}
+			g.mu.Unlock()
+			return nil
+		}
+		if !b.healthy {
+			// The backend was ejected while our admission was in flight; its
+			// orphans were already detached and this coflow was not among
+			// them. Recording it here would strand it on a dead shard, so
+			// treat the admission as failed and place elsewhere. (The shard
+			// may hold an orphan copy — the same at-least-once trade a
+			// lost-response retry makes.)
+			g.mu.Unlock()
+			tried[b] = true
+			continue
+		}
+		rc.backend = b
+		rc.localID = resp.ID
+		rc.arrival = resp.Arrival
+		rc.admitted = true
+		rc.orphaned = false
+		b.local[resp.ID] = gid
+		g.mu.Unlock()
+		return nil
+	}
+}
+
+// terminalStatus reports whether a shard response code means the request
+// itself is bad and re-routing to another shard cannot help: the 4xx
+// validation band, minus the transient members (429 overload, 408 timeout)
+// the retrying client already classifies as availability failures.
+func terminalStatus(code int) bool {
+	if code == http.StatusTooManyRequests || code == http.StatusRequestTimeout {
+		return false
+	}
+	return code >= 400 && code < 500
+}
+
+// noteBackendFailure records an availability failure against a healthy
+// backend and ejects it once the threshold is crossed, re-admitting its
+// in-flight coflows elsewhere.
+func (g *Gateway) noteBackendFailure(b *Backend, cause error) {
+	g.mu.Lock()
+	if !b.healthy {
+		g.mu.Unlock()
+		return
+	}
+	b.failures++
+	if b.failures < g.cfg.FailThreshold {
+		g.mu.Unlock()
+		return
+	}
+	orphans := g.ejectLocked(b)
+	g.mu.Unlock()
+	g.cfg.Logf("cluster: backend %s ejected (%v), re-admitting %d in-flight coflows", b.name, cause, len(orphans))
+	go g.readmitOrphans(orphans)
+}
+
+// ejectLocked marks a backend unhealthy, arms its re-probe backoff and
+// detaches its in-flight coflows, returning their gateway ids for
+// re-admission. Caller holds mu and must call readmitOrphans after unlocking.
+func (g *Gateway) ejectLocked(b *Backend) []int {
+	if !b.healthy {
+		return nil
+	}
+	b.healthy = false
+	b.failures = 0
+	b.backoff = g.cfg.HealthInterval
+	b.nextProbe = time.Now().Add(b.backoff)
+	b.ejections++
+	var orphans []int
+	for _, gid := range b.local {
+		rc := g.coflows[gid]
+		if rc.done || rc.backend != b {
+			continue
+		}
+		rc.backend = nil
+		rc.admitted = false
+		rc.orphaned = true
+		rc.readmits++
+		orphans = append(orphans, gid)
+	}
+	b.local = make(map[int]int)
+	b.outstanding = 0
+	sort.Ints(orphans)
+	return orphans
+}
+
+// readmitOrphans replays detached coflows onto the surviving shards. A
+// coflow restarts from zero on its new shard — shards share no state, the
+// same trade a real stateless-scheduler failover makes. A coflow that
+// cannot be placed right now (no healthy backend) stays orphaned and is
+// retried when a backend recovers.
+func (g *Gateway) readmitOrphans(orphans []int) {
+	for _, gid := range orphans {
+		if err := g.place(gid, false); err != nil {
+			g.cfg.Logf("cluster: re-admitting coflow %d: %v (will retry on recovery)", gid, err)
+			continue
+		}
+		g.mu.Lock()
+		g.readmits++
+		g.mu.Unlock()
+	}
+}
+
+// orphansLocked returns acknowledged coflows currently on no shard. Caller
+// holds mu.
+func (g *Gateway) orphansLocked() []int {
+	var out []int
+	for gid, rc := range g.coflows {
+		if rc.orphaned && !rc.admitted && !rc.done && !rc.failed {
+			out = append(out, gid)
+		}
+	}
+	return out
+}
+
+// healthLoop probes backends every HealthInterval: healthy ones on every
+// tick, ejected ones once their backoff expires (doubling up to BackoffMax
+// on each further failure). A recovered backend rejoins the rotation with a
+// clean slate.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.quit:
+			return
+		case <-t.C:
+			g.probeAll()
+			// The sweep does per-coflow HTTP and can be slow against a
+			// wedged shard; it must never hold up the next probe tick, so
+			// it runs detached with at most one sweep in flight.
+			if g.sweeping.CompareAndSwap(false, true) {
+				go func() {
+					defer g.sweeping.Store(false)
+					g.sweepCompletions()
+				}()
+			}
+		}
+	}
+}
+
+// sweepBatch bounds how many of a backend's outstanding coflows the
+// completion sweep polls per health tick.
+const sweepBatch = 32
+
+// sweepCompletions polls a bounded, rotating subset of each healthy
+// backend's outstanding coflows. Status folds observed completions into the
+// gateway bookkeeping — completed counters, least-load outstanding counts,
+// and the retained failover specs — so state converges even when no client
+// ever polls /v1/coflows/{id} (a fire-and-forget producer). Map iteration
+// order varies per tick, so every outstanding coflow is eventually visited.
+func (g *Gateway) sweepCompletions() {
+	g.mu.Lock()
+	var gids []int
+	for _, b := range g.backends {
+		// Skip backends that are down or whose probes are currently failing:
+		// sweeping them would burn a client timeout per coflow for nothing.
+		if !b.healthy || b.failures > 0 {
+			continue
+		}
+		n := 0
+		for _, gid := range b.local {
+			if n >= sweepBatch {
+				break
+			}
+			gids = append(gids, gid)
+			n++
+		}
+	}
+	g.mu.Unlock()
+	for _, gid := range gids {
+		select {
+		case <-g.quit:
+			return
+		default:
+		}
+		_, _, _ = g.Status(gid)
+	}
+}
+
+func (g *Gateway) probeAll() {
+	g.mu.Lock()
+	now := time.Now()
+	var due []*Backend
+	for _, b := range g.backends {
+		if b.healthy || !now.Before(b.nextProbe) {
+			due = append(due, b)
+		}
+	}
+	g.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, b := range due {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			_, err := b.probe.Health()
+			g.applyProbe(b, err)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// applyProbe folds one probe result into the backend's health state.
+func (g *Gateway) applyProbe(b *Backend, probeErr error) {
+	if probeErr == nil {
+		g.mu.Lock()
+		wasDown := !b.healthy
+		b.healthy = true
+		b.failures = 0
+		b.backoff = 0
+		var stranded []int
+		if wasDown {
+			// Recovery is the retry trigger for coflows orphaned while no
+			// backend was healthy.
+			stranded = g.orphansLocked()
+		}
+		g.mu.Unlock()
+		if wasDown {
+			g.cfg.Logf("cluster: backend %s healthy again, re-admitted to rotation", b.name)
+			if len(stranded) > 0 {
+				// Detached: re-admission is retrying HTTP and must not hold
+				// up the probe round (probeAll waits on its probes).
+				go g.readmitOrphans(stranded)
+			}
+		}
+		return
+	}
+	g.mu.Lock()
+	if b.healthy {
+		b.failures++
+		if b.failures < g.cfg.FailThreshold {
+			g.mu.Unlock()
+			return
+		}
+		orphans := g.ejectLocked(b)
+		g.mu.Unlock()
+		g.cfg.Logf("cluster: backend %s ejected (%v), re-admitting %d in-flight coflows", b.name, probeErr, len(orphans))
+		go g.readmitOrphans(orphans)
+		return
+	}
+	// Still down: back off exponentially before the next probe.
+	b.backoff *= 2
+	if b.backoff > g.cfg.BackoffMax {
+		b.backoff = g.cfg.BackoffMax
+	}
+	if b.backoff <= 0 {
+		b.backoff = g.cfg.HealthInterval
+	}
+	b.nextProbe = time.Now().Add(b.backoff)
+	g.mu.Unlock()
+}
+
+// Status reports one gateway coflow. found=false means the id is unknown (or
+// its admission terminally failed); a non-nil error with found=true means the
+// owning shard could not be reached right now (callers should retry).
+func (g *Gateway) Status(gid int) (server.CoflowResponse, bool, error) {
+	g.mu.Lock()
+	if gid < 0 || gid >= len(g.coflows) {
+		g.mu.Unlock()
+		return server.CoflowResponse{}, false, nil
+	}
+	rc := g.coflows[gid]
+	switch {
+	case rc.done:
+		resp := rc.final
+		g.mu.Unlock()
+		return resp, true, nil
+	case rc.failed:
+		g.mu.Unlock()
+		return server.CoflowResponse{}, false, nil
+	case !rc.admitted:
+		resp := pendingResponse(gid, rc.spec)
+		g.mu.Unlock()
+		return resp, true, nil
+	}
+	b, lid := rc.backend, rc.localID
+	g.mu.Unlock()
+
+	st, err := b.client.Coflow(lid)
+	if err != nil {
+		return server.CoflowResponse{}, true, err
+	}
+	st.ID = gid
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rc.backend != b || rc.localID != lid {
+		// Re-admitted elsewhere while we were asking: report it in flight.
+		return pendingResponse(gid, rc.spec), true, nil
+	}
+	if st.Done && !rc.done {
+		rc.done = true
+		rc.final = st
+		g.completed++
+		delete(b.local, lid)
+		if b.outstanding > 0 {
+			b.outstanding--
+		}
+		// The spec's flows are no longer needed for failover; let them go.
+		rc.spec = coflow.Coflow{Name: rc.spec.Name, Weight: rc.spec.Weight}
+	}
+	return st, true, nil
+}
+
+// pendingResponse describes a coflow the gateway owns but no shard currently
+// runs (queued, or between ejection and re-admission).
+func pendingResponse(gid int, spec coflow.Coflow) server.CoflowResponse {
+	total := 0.0
+	for _, f := range spec.Flows {
+		total += f.Size
+	}
+	return server.CoflowResponse{
+		ID:             gid,
+		Name:           spec.Name,
+		Weight:         spec.Weight,
+		NumFlows:       len(spec.Flows),
+		TotalBytes:     total,
+		RemainingBytes: total,
+	}
+}
+
+// ShardStat is one backend's contribution to a scatter-gather.
+type ShardStat struct {
+	Name    string                `json:"name"`
+	Healthy bool                  `json:"healthy"`
+	Err     string                `json:"error,omitempty"`
+	Stats   *server.StatsResponse `json:"stats,omitempty"`
+}
+
+// MergedStats scatter-gathers /v1/stats (with raw reservoirs) from every
+// healthy backend and merges objectives, counters and percentile reservoirs
+// into one EngineStats via online.MergeEngineStats. Unreachable shards are
+// reported in the per-shard slice and excluded from the merge.
+func (g *Gateway) MergedStats() (online.EngineStats, []ShardStat) {
+	g.mu.Lock()
+	backends := append([]*Backend(nil), g.backends...)
+	g.mu.Unlock()
+
+	shardStats := make([]ShardStat, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		g.mu.Lock()
+		healthy := b.healthy
+		g.mu.Unlock()
+		shardStats[i] = ShardStat{Name: b.name, Healthy: healthy}
+		if !healthy {
+			shardStats[i].Err = "ejected"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			st, err := b.client.StatsSamples()
+			if err != nil {
+				shardStats[i].Err = err.Error()
+				return
+			}
+			shardStats[i].Stats = &st
+		}(i, b)
+	}
+	wg.Wait()
+
+	var parts []online.EngineStats
+	for _, s := range shardStats {
+		if s.Stats == nil {
+			continue
+		}
+		r := s.Stats
+		parts = append(parts, online.EngineStats{
+			Now:              r.Now,
+			Epochs:           r.Epochs,
+			Decisions:        r.Decisions,
+			Admitted:         r.Admitted,
+			Completed:        r.Completed,
+			Active:           r.Active,
+			ActiveFlows:      r.ActiveFlows,
+			WeightedCCT:      r.WeightedCCT,
+			WeightedResponse: r.WeightedResponse,
+			Slowdowns:        r.Slowdowns,
+			SolveLatencies:   r.SolveLatencies,
+		})
+	}
+	return online.MergeEngineStats(parts...), shardStats
+}
+
+// MergedSchedule scatter-gathers /v1/schedule from every healthy backend,
+// translates backend-local coflow ids to gateway ids, and interleaves the
+// shard orders round-robin. Shards are independent fabrics, so relative
+// priority across shards carries no scheduling meaning — the interleave is
+// just a stable presentation.
+func (g *Gateway) MergedSchedule() (server.ScheduleResponse, error) {
+	g.mu.Lock()
+	backends := g.healthyLocked(nil)
+	g.mu.Unlock()
+
+	type shardOrder struct {
+		b    *Backend
+		resp server.ScheduleResponse
+		err  error
+	}
+	orders := make([]shardOrder, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			orders[i].b = b
+			orders[i].resp, orders[i].err = b.client.Schedule()
+		}(i, b)
+	}
+	wg.Wait()
+
+	out := server.ScheduleResponse{Order: []server.ScheduleEntry{}}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	translated := make([][]server.ScheduleEntry, 0, len(orders))
+	for _, o := range orders {
+		if o.err != nil {
+			continue // a shard mid-ejection simply contributes nothing
+		}
+		if o.resp.Now > out.Now {
+			out.Now = o.resp.Now
+		}
+		out.Policy = o.resp.Policy
+		var entries []server.ScheduleEntry
+		for _, e := range o.resp.Order {
+			gid, ok := o.b.local[e.Coflow]
+			if !ok {
+				continue // completed or re-admitted since the shard answered
+			}
+			entries = append(entries, server.ScheduleEntry{Coflow: gid, Flow: e.Flow})
+		}
+		translated = append(translated, entries)
+	}
+	for i := 0; ; i++ {
+		appended := false
+		for _, entries := range translated {
+			if i < len(entries) {
+				out.Order = append(out.Order, entries[i])
+				appended = true
+			}
+		}
+		if !appended {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Network returns the topology of the first healthy backend. The gateway
+// assumes every shard runs the same fabric shape (cmd/coflowgate and
+// NewLocal construct them that way); load generators only need host ids that
+// are valid on whichever shard a coflow lands on.
+func (g *Gateway) Network() (server.NetworkResponse, error) {
+	g.mu.Lock()
+	backends := g.healthyLocked(nil)
+	g.mu.Unlock()
+	var lastErr error = errNoBackend
+	for _, b := range backends {
+		net, err := b.client.Network()
+		if err == nil {
+			return net, nil
+		}
+		lastErr = err
+	}
+	return server.NetworkResponse{}, lastErr
+}
+
+// Counters snapshots the gateway-level accounting (not shard state).
+type Counters struct {
+	Coflows   int `json:"coflows"`   // gateway ids assigned
+	Completed int `json:"completed"` // observed complete through the gateway
+	Readmits  int `json:"readmits"`  // post-ejection re-admissions
+	Backends  int `json:"backends"`
+	Healthy   int `json:"healthy_backends"`
+}
+
+// CountersSnapshot reads the gateway counters.
+func (g *Gateway) CountersSnapshot() Counters {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := Counters{
+		Coflows:   len(g.coflows),
+		Completed: g.completed,
+		Readmits:  g.readmits,
+		Backends:  len(g.backends),
+	}
+	for _, b := range g.backends {
+		if b.healthy {
+			c.Healthy++
+		}
+	}
+	return c
+}
+
+// PlacementName names the configured placement policy.
+func (g *Gateway) PlacementName() string { return g.cfg.Placement.Name() }

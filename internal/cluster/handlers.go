@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/server"
+	"coflowsched/internal/stats"
+)
+
+// The gateway serves the same /v1/* JSON API as a single coflowd, so every
+// existing client — coflowload, the typed server.Client, the closed-loop
+// tests — can point at a cluster without changes. Responses reuse the server
+// package's wire types; gateway-only endpoints (/v1/backends) and fields are
+// additive.
+
+// gateHealthResponse is GET /healthz: the server.HealthResponse shape plus
+// cluster fields.
+type gateHealthResponse struct {
+	Status   string  `json:"status"`
+	Policy   string  `json:"policy"`
+	Now      float64 `json:"now"`
+	Admitted int     `json:"admitted"`
+	Backends int     `json:"backends"`
+	Healthy  int     `json:"healthy_backends"`
+}
+
+// gateStatsResponse is GET /v1/stats: the merged server.StatsResponse plus
+// the per-shard detail.
+type gateStatsResponse struct {
+	server.StatsResponse
+	GatewayCompleted int         `json:"gateway_completed"`
+	Readmits         int         `json:"readmits"`
+	Shards           []ShardStat `json:"shards"`
+}
+
+// Handler returns the gateway's HTTP API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/coflows", g.handleAdmit)
+	mux.HandleFunc("GET /v1/coflows/{id}", g.handleCoflow)
+	mux.HandleFunc("GET /v1/schedule", g.handleSchedule)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/network", g.handleNetwork)
+	mux.HandleFunc("GET /v1/backends", g.handleBackends)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &server.StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		g.requests.Add(1)
+		if rec.Code >= 400 {
+			g.requestErrors.Add(1)
+		}
+	})
+}
+
+func (g *Gateway) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var cf coflow.Coflow
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, server.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cf); err != nil {
+		server.RespondError(w, http.StatusBadRequest, "decoding coflow: "+err.Error())
+		return
+	}
+	resp, err := g.Admit(cf)
+	switch {
+	case err == nil:
+		server.RespondJSON(w, http.StatusCreated, resp)
+	case errors.Is(err, errClosed), errors.Is(err, errNoBackend):
+		server.RespondError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errNoFlows):
+		server.RespondError(w, http.StatusBadRequest, err.Error())
+	default:
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) && terminalStatus(apiErr.StatusCode) {
+			// The shard's validation verdict passes through as our own.
+			server.RespondError(w, apiErr.StatusCode, apiErr.Message)
+			return
+		}
+		server.RespondError(w, http.StatusBadGateway, err.Error())
+	}
+}
+
+func (g *Gateway) handleCoflow(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		server.RespondError(w, http.StatusBadRequest, "invalid coflow id")
+		return
+	}
+	st, found, err := g.Status(id)
+	switch {
+	case !found:
+		server.RespondError(w, http.StatusNotFound, "unknown coflow id")
+	case err != nil:
+		server.RespondError(w, http.StatusBadGateway, "shard unreachable: "+err.Error())
+	default:
+		server.RespondJSON(w, http.StatusOK, st)
+	}
+}
+
+func (g *Gateway) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	resp, err := g.MergedSchedule()
+	if err != nil {
+		server.RespondError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	server.RespondJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	merged, shards := g.MergedStats()
+	counters := g.CountersSnapshot()
+	pct := func(xs []float64, p float64) float64 { return stats.PercentileOr(xs, p, 0) }
+	resp := gateStatsResponse{
+		StatsResponse: server.StatsResponse{
+			Now:              merged.Now,
+			Policy:           g.shardPolicyName(shards),
+			Epochs:           merged.Epochs,
+			Decisions:        merged.Decisions,
+			Admitted:         merged.Admitted,
+			Completed:        merged.Completed,
+			Active:           merged.Active,
+			ActiveFlows:      merged.ActiveFlows,
+			WeightedCCT:      merged.WeightedCCT,
+			WeightedResponse: merged.WeightedResponse,
+			SlowdownP50:      pct(merged.Slowdowns, 50),
+			SlowdownP95:      pct(merged.Slowdowns, 95),
+			SlowdownP99:      pct(merged.Slowdowns, 99),
+			SolveMsP50:       pct(merged.SolveLatencies, 50) * 1e3,
+			SolveMsP95:       pct(merged.SolveLatencies, 95) * 1e3,
+			SolveMsP99:       pct(merged.SolveLatencies, 99) * 1e3,
+		},
+		GatewayCompleted: counters.Completed,
+		Readmits:         counters.Readmits,
+		Shards:           shards,
+	}
+	if r.URL.Query().Get("samples") != "" {
+		resp.Slowdowns = merged.Slowdowns
+		resp.SolveLatencies = merged.SolveLatencies
+	}
+	server.RespondJSON(w, http.StatusOK, resp)
+}
+
+// shardPolicyName reports the shards' policy (they are homogeneous by
+// construction; the first reporting shard's answer wins).
+func (g *Gateway) shardPolicyName(shards []ShardStat) string {
+	for _, s := range shards {
+		if s.Stats != nil && s.Stats.Policy != "" {
+			return s.Stats.Policy
+		}
+	}
+	return ""
+}
+
+func (g *Gateway) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	net, err := g.Network()
+	if err != nil {
+		server.RespondError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	server.RespondJSON(w, http.StatusOK, net)
+}
+
+func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	server.RespondJSON(w, http.StatusOK, g.Backends())
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c := g.CountersSnapshot()
+	resp := gateHealthResponse{
+		Status:   "ok",
+		Policy:   "gateway(" + g.PlacementName() + ")",
+		Now:      time.Since(g.start).Seconds(),
+		Admitted: c.Coflows,
+		Backends: c.Backends,
+		Healthy:  c.Healthy,
+	}
+	if c.Healthy == 0 {
+		resp.Status = "degraded"
+		server.RespondJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	server.RespondJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves gateway-level Prometheus-style text metrics: routing
+// and health counters under coflowgate_*, one labelled per-backend series
+// per shard. Shard-internal scheduling metrics stay on the shards' own
+// /metrics (labelled via coflowd -shard).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := g.CountersSnapshot()
+	roster := g.Backends()
+	var b strings.Builder
+	line := func(name string, v float64) { fmt.Fprintf(&b, "%s %g\n", name, v) }
+	line("coflowgate_up", 1)
+	line("coflowgate_coflows_total", float64(c.Coflows))
+	line("coflowgate_completed_total", float64(c.Completed))
+	line("coflowgate_readmits_total", float64(c.Readmits))
+	line("coflowgate_backends", float64(c.Backends))
+	line("coflowgate_backends_healthy", float64(c.Healthy))
+	line("coflowgate_http_requests_total", float64(g.requests.Load()))
+	line("coflowgate_http_request_errors_total", float64(g.requestErrors.Load()))
+	for _, bs := range roster {
+		up := 0.0
+		if bs.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(&b, "coflowgate_backend_up{shard=%q} %g\n", bs.Name, up)
+		fmt.Fprintf(&b, "coflowgate_backend_outstanding{shard=%q} %g\n", bs.Name, float64(bs.Outstanding))
+		fmt.Fprintf(&b, "coflowgate_backend_ejections_total{shard=%q} %g\n", bs.Name, float64(bs.Ejections))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

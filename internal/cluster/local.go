@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+
+	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
+	"coflowsched/internal/server"
+)
+
+// LocalConfig parameterizes an in-process cluster: N coflowd shards, each a
+// full server.Server behind its own loopback httptest listener, fronted by
+// one gateway. Everything runs in this process — tests, coflowbench and
+// coflowload use it to measure shard-count scaling without real networking.
+type LocalConfig struct {
+	// Shards is the number of backends (required > 0).
+	Shards int
+	// Policy, EpochLength, TimeScale, FatK and CandidatePaths configure every
+	// shard identically (defaults: SEBF, 2, 1, k=4, 4). Each shard owns an
+	// independent fabric of this shape.
+	Policy         online.Policy
+	EpochLength    float64
+	TimeScale      float64
+	FatK           int
+	CandidatePaths int
+	// Gateway configures the front door.
+	Gateway Config
+	// Logf receives shard and gateway logs.
+	Logf func(format string, args ...any)
+}
+
+func (c LocalConfig) withDefaults() (LocalConfig, error) {
+	if c.Shards <= 0 {
+		return c, fmt.Errorf("cluster: local cluster needs at least 1 shard, got %d", c.Shards)
+	}
+	if c.Policy == nil {
+		c.Policy = online.SEBFOnline{}
+	}
+	if c.EpochLength <= 0 {
+		c.EpochLength = 2
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.FatK <= 0 {
+		c.FatK = 4
+	}
+	if c.Logf != nil && c.Gateway.Logf == nil {
+		c.Gateway.Logf = c.Logf
+	}
+	return c, nil
+}
+
+// localShard is one in-process backend. Kill drops its server (all engine
+// state is lost, as with a crashed daemon) while the listener stays up and
+// answers 503; Revive installs a fresh empty server at the same URL, the
+// restart-after-crash the gateway's health loop is built to absorb.
+type localShard struct {
+	name string
+	scfg server.Config
+	ts   *httptest.Server
+
+	mu      sync.Mutex
+	srv     *server.Server
+	handler http.Handler
+	down    bool
+}
+
+func (sh *localShard) serve(w http.ResponseWriter, r *http.Request) {
+	sh.mu.Lock()
+	h, down := sh.handler, sh.down
+	sh.mu.Unlock()
+	if down || h == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"shard down"}` + "\n"))
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// Local is an in-process cluster: gateway + N shards on loopback listeners.
+type Local struct {
+	// Gateway is the front door; URL() serves its HTTP API.
+	Gateway *Gateway
+
+	cfg    LocalConfig
+	http   *httptest.Server
+	shards []*localShard
+}
+
+// NewLocal builds and starts an in-process cluster of cfg.Shards coflowd
+// backends behind one gateway. Callers must Close it.
+func NewLocal(cfg LocalConfig) (*Local, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	l := &Local{cfg: cfg, Gateway: New(cfg.Gateway)}
+	for i := 0; i < cfg.Shards; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		scfg := server.Config{
+			Network:        graph.FatTree(cfg.FatK, 1),
+			Policy:         cfg.Policy,
+			EpochLength:    cfg.EpochLength,
+			TimeScale:      cfg.TimeScale,
+			CandidatePaths: cfg.CandidatePaths,
+			Shard:          name,
+			Logf:           cfg.Logf,
+		}
+		srv, err := server.New(scfg)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("cluster: starting %s: %w", name, err)
+		}
+		sh := &localShard{name: name, scfg: scfg, srv: srv, handler: srv.Handler()}
+		sh.ts = httptest.NewServer(http.HandlerFunc(sh.serve))
+		l.shards = append(l.shards, sh)
+		if err := l.Gateway.AddBackend(name, sh.ts.URL); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	l.http = httptest.NewServer(l.Gateway.Handler())
+	return l, nil
+}
+
+// URL is the gateway's base URL.
+func (l *Local) URL() string { return l.http.URL }
+
+// Client returns a fresh typed client against the gateway.
+func (l *Local) Client() *server.Client { return server.NewClient(l.URL()) }
+
+// NumShards returns the configured shard count.
+func (l *Local) NumShards() int { return len(l.shards) }
+
+// Kill simulates a crash of shard i: its scheduler stops, every coflow it
+// owned is lost, and its listener answers 503 until Revive. The gateway's
+// health loop will eject it and re-admit its in-flight coflows elsewhere.
+func (l *Local) Kill(i int) {
+	sh := l.shards[i]
+	sh.mu.Lock()
+	old := sh.srv
+	sh.srv, sh.handler, sh.down = nil, nil, true
+	sh.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Revive restarts shard i as a fresh, empty daemon at the same URL — the
+// crashed process coming back. The gateway re-admits it to the placement
+// rotation at its next successful probe.
+func (l *Local) Revive(i int) error {
+	sh := l.shards[i]
+	srv, err := server.New(sh.scfg)
+	if err != nil {
+		return fmt.Errorf("cluster: reviving %s: %w", sh.name, err)
+	}
+	sh.mu.Lock()
+	sh.srv, sh.handler, sh.down = srv, srv.Handler(), false
+	sh.mu.Unlock()
+	return nil
+}
+
+// Shard returns shard i's live server (nil while killed), for direct state
+// inspection in tests and benchmarks.
+func (l *Local) Shard(i int) *server.Server {
+	sh := l.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv
+}
+
+// DrainAll drains every live shard in parallel (each runs its in-flight
+// coflows to completion in simulated time, decoupled from the wall clock)
+// and returns the merged statistics. The parallel drain is the wall-clock
+// win sharding buys: each shard drains only its own fabric.
+func (l *Local) DrainAll() (online.EngineStats, error) {
+	type result struct {
+		st  online.EngineStats
+		err error
+	}
+	results := make([]result, len(l.shards))
+	var wg sync.WaitGroup
+	for i, sh := range l.shards {
+		sh.mu.Lock()
+		srv := sh.srv
+		sh.mu.Unlock()
+		if srv == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, srv *server.Server) {
+			defer wg.Done()
+			results[i].st, results[i].err = srv.Drain()
+		}(i, srv)
+	}
+	wg.Wait()
+	var parts []online.EngineStats
+	for i, r := range results {
+		if r.err != nil {
+			return online.EngineStats{}, fmt.Errorf("cluster: draining shard%d: %w", i, r.err)
+		}
+		parts = append(parts, r.st)
+	}
+	return online.MergeEngineStats(parts...), nil
+}
+
+// Close tears the whole cluster down.
+func (l *Local) Close() {
+	if l.http != nil {
+		l.http.Close()
+	}
+	if l.Gateway != nil {
+		l.Gateway.Close()
+	}
+	for _, sh := range l.shards {
+		if sh.ts != nil {
+			sh.ts.Close()
+		}
+		sh.mu.Lock()
+		srv := sh.srv
+		sh.srv = nil
+		sh.mu.Unlock()
+		if srv != nil {
+			srv.Close()
+		}
+	}
+}

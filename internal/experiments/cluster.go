@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"coflowsched/internal/cluster"
+	"coflowsched/internal/online"
+	"coflowsched/internal/server"
+	"coflowsched/internal/stats"
+)
+
+// ClusterConfig controls the shard-count scaling sweep: the same workload is
+// pushed through an in-process gateway fronting 1, 2, 4, ... coflowd shards,
+// and each point records admission throughput, drain wall time and the
+// merged scheduling objectives. The paper analyzes one fabric; this sweep
+// measures what the gateway layer adds when N independent fabrics share the
+// front door.
+type ClusterConfig struct {
+	// ShardCounts are the cluster sizes swept (default 1, 2, 4, 8).
+	ShardCounts []int
+	// Coflows, Width, MeanSize and Rate shape the replayed workload; Seed
+	// fixes the draw so every cluster size sees the identical coflow
+	// sequence. Rate is the wall-clock send rate — the default (100000) is
+	// effectively unpaced, so the admit columns measure gateway + shard
+	// throughput rather than the arrival schedule.
+	Coflows  int
+	Width    int
+	MeanSize float64
+	Rate     float64
+	Seed     int64
+	// Placement is the gateway placement policy name (default "hash").
+	Placement string
+	// EpochLength and FatK configure every shard (defaults 2, k=4).
+	EpochLength float64
+	FatK        int
+}
+
+// DefaultClusterConfig is the configuration `coflowbench -experiment
+// cluster` runs.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		ShardCounts: []int{1, 2, 4, 8},
+		Coflows:     160,
+		Width:       3,
+		MeanSize:    4,
+		Rate:        100000,
+		Seed:        1,
+		Placement:   "hash",
+		EpochLength: 2,
+		FatK:        4,
+	}
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	d := DefaultClusterConfig()
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = d.ShardCounts
+	}
+	if c.Coflows <= 0 {
+		c.Coflows = d.Coflows
+	}
+	if c.Width <= 0 {
+		c.Width = d.Width
+	}
+	if c.MeanSize <= 0 {
+		c.MeanSize = d.MeanSize
+	}
+	if c.Rate <= 0 {
+		c.Rate = d.Rate
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Placement == "" {
+		c.Placement = d.Placement
+	}
+	if c.EpochLength <= 0 {
+		c.EpochLength = d.EpochLength
+	}
+	if c.FatK <= 0 {
+		c.FatK = d.FatK
+	}
+	return c
+}
+
+// ClusterRow is one cluster size's measurements.
+type ClusterRow struct {
+	Shards  int `json:"shards"`
+	Coflows int `json:"coflows"`
+	// AdmitWallMS is the wall-clock time to push every coflow through the
+	// gateway (placement + batched HTTP admission); AdmitRPS the resulting
+	// throughput.
+	AdmitWallMS float64 `json:"admit_wall_ms"`
+	AdmitRPS    float64 `json:"admit_rps"`
+	// DrainWallMS is the wall-clock time for all shards to run their
+	// admitted coflows to completion, in parallel.
+	DrainWallMS float64 `json:"drain_wall_ms"`
+	// Completed, WeightedCCT, WeightedResponse and the slowdown percentiles
+	// come from the merged (online.MergeEngineStats) shard statistics.
+	Completed        int     `json:"completed"`
+	WeightedCCT      float64 `json:"weighted_cct"`
+	WeightedResponse float64 `json:"weighted_response"`
+	SlowdownP50      float64 `json:"slowdown_p50"`
+	SlowdownP95      float64 `json:"slowdown_p95"`
+}
+
+// ClusterResult bundles the sweep: the scaling table plus per-row detail.
+type ClusterResult struct {
+	Table *stats.Table `json:"-"`
+	Rows  []ClusterRow `json:"rows"`
+}
+
+// String renders the scaling table.
+func (r *ClusterResult) String() string { return r.Table.String() }
+
+// ClusterSweep replays the identical workload through in-process clusters of
+// growing shard count. Sharding does not change any coflow's schedule
+// quality on its own fabric — each shard runs the same per-fabric policy the
+// paper analyzes — so the merged objectives stay comparable while the
+// wall-clock columns show the horizontal win.
+func ClusterSweep(cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.withDefaults()
+	placement, err := cluster.ParsePlacement(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ClusterResult{}
+	for _, n := range cfg.ShardCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiments: invalid shard count %d", n)
+		}
+		row, err := clusterPoint(cfg, placement, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d-shard point: %w", n, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	labels := make([]string, len(res.Rows))
+	admitRPS := make([]float64, len(res.Rows))
+	drainMS := make([]float64, len(res.Rows))
+	response := make([]float64, len(res.Rows))
+	p95 := make([]float64, len(res.Rows))
+	for i, r := range res.Rows {
+		labels[i] = strconv.Itoa(r.Shards)
+		admitRPS[i] = r.AdmitRPS
+		drainMS[i] = r.DrainWallMS
+		response[i] = r.WeightedResponse
+		p95[i] = r.SlowdownP95
+	}
+	table := stats.NewTable(
+		fmt.Sprintf("ClusterSweep: %d coflows via coflowgate (%s placement)", cfg.Coflows, cfg.Placement),
+		"shards", labels)
+	for _, s := range []struct {
+		name string
+		vals []float64
+	}{
+		{"admit_rps", admitRPS},
+		{"drain_ms", drainMS},
+		{"weighted_resp", response},
+		{"slowdown_p95", p95},
+	} {
+		if err := table.AddSeries(s.name, s.vals); err != nil {
+			return nil, err
+		}
+	}
+	res.Table = table
+	return res, nil
+}
+
+// clusterPoint measures one shard count.
+func clusterPoint(cfg ClusterConfig, placement cluster.Placement, shards int) (ClusterRow, error) {
+	l, err := cluster.NewLocal(cluster.LocalConfig{
+		Shards:      shards,
+		Policy:      online.SEBFOnline{},
+		EpochLength: cfg.EpochLength,
+		FatK:        cfg.FatK,
+		Gateway: cluster.Config{
+			Placement: placement,
+			// The sweep is short-lived; probe fast so a wedged shard fails the
+			// point instead of hanging it.
+			HealthInterval: 200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	defer l.Close()
+
+	c := l.Client()
+	t0 := time.Now()
+	report, err := server.RunLoad(c, server.LoadConfig{
+		Coflows:     cfg.Coflows,
+		Width:       cfg.Width,
+		MeanSize:    cfg.MeanSize,
+		Rate:        cfg.Rate,
+		SpeedUp:     1,
+		Concurrency: 8,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	if report.Failures > 0 {
+		return ClusterRow{}, fmt.Errorf("%d of %d admissions failed (first: %s)",
+			report.Failures, report.Requests, report.FirstError)
+	}
+	admitWall := time.Since(t0)
+
+	t1 := time.Now()
+	merged, err := l.DrainAll()
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	drainWall := time.Since(t1)
+	if merged.Completed != cfg.Coflows {
+		return ClusterRow{}, fmt.Errorf("merged stats report %d completions, want %d", merged.Completed, cfg.Coflows)
+	}
+
+	return ClusterRow{
+		Shards:           shards,
+		Coflows:          cfg.Coflows,
+		AdmitWallMS:      admitWall.Seconds() * 1e3,
+		AdmitRPS:         float64(cfg.Coflows) / admitWall.Seconds(),
+		DrainWallMS:      drainWall.Seconds() * 1e3,
+		Completed:        merged.Completed,
+		WeightedCCT:      merged.WeightedCCT,
+		WeightedResponse: merged.WeightedResponse,
+		SlowdownP50:      stats.PercentileOr(merged.Slowdowns, 50, 0),
+		SlowdownP95:      stats.PercentileOr(merged.Slowdowns, 95, 0),
+	}, nil
+}

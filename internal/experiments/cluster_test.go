@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestClusterSweepSmall runs a tiny 1-vs-2-shard sweep end to end: every
+// coflow must complete and the table must carry one row per shard count.
+func TestClusterSweepSmall(t *testing.T) {
+	res, err := ClusterSweep(ClusterConfig{
+		ShardCounts: []int{1, 2},
+		Coflows:     24,
+		Width:       2,
+	})
+	if err != nil {
+		t.Fatalf("cluster sweep: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Completed != 24 {
+			t.Errorf("%d shards: completed %d of 24", row.Shards, row.Completed)
+		}
+		if row.AdmitRPS <= 0 || row.WeightedResponse <= 0 {
+			t.Errorf("%d shards: degenerate measurements %+v", row.Shards, row)
+		}
+		if row.SlowdownP50 < 1-1e-9 {
+			t.Errorf("%d shards: slowdown p50 %v < 1", row.Shards, row.SlowdownP50)
+		}
+	}
+	if res.Table == nil || len(res.Table.SeriesSet) != 4 {
+		t.Fatalf("scaling table malformed: %+v", res.Table)
+	}
+
+	// Unknown placement fails fast.
+	if _, err := ClusterSweep(ClusterConfig{Placement: "bogus"}); err == nil {
+		t.Error("bogus placement accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/stats"
+)
+
+// TestMergeEngineStatsCounters: counters and objectives sum across shards,
+// Now takes the furthest clock.
+func TestMergeEngineStatsCounters(t *testing.T) {
+	a := EngineStats{
+		Now: 10, Epochs: 5, Decisions: 4, Admitted: 7, Completed: 6,
+		Active: 1, ActiveFlows: 3, WeightedCCT: 100, WeightedResponse: 40,
+		Slowdowns: []float64{1, 2}, SolveLatencies: []float64{0.01},
+	}
+	b := EngineStats{
+		Now: 8, Epochs: 2, Decisions: 2, Admitted: 3, Completed: 3,
+		Active: 0, ActiveFlows: 0, WeightedCCT: 30, WeightedResponse: 12,
+		Slowdowns: []float64{3}, SolveLatencies: []float64{0.02, 0.03},
+	}
+	m := MergeEngineStats(a, b)
+	if m.Now != 10 {
+		t.Errorf("Now = %v, want 10", m.Now)
+	}
+	if m.Epochs != 7 || m.Decisions != 6 || m.Admitted != 10 || m.Completed != 9 {
+		t.Errorf("counters = %+v", m)
+	}
+	if m.Active != 1 || m.ActiveFlows != 3 {
+		t.Errorf("active = %d/%d, want 1/3", m.Active, m.ActiveFlows)
+	}
+	if m.WeightedCCT != 130 || m.WeightedResponse != 52 {
+		t.Errorf("objectives = %v/%v, want 130/52", m.WeightedCCT, m.WeightedResponse)
+	}
+	if len(m.Slowdowns) != 3 || len(m.SolveLatencies) != 3 {
+		t.Errorf("reservoirs %d/%d samples, want 3/3", len(m.Slowdowns), len(m.SolveLatencies))
+	}
+	if got := stats.Percentile(m.Slowdowns, 100); got != 3 {
+		t.Errorf("merged max slowdown = %v, want 3", got)
+	}
+}
+
+// TestMergeEngineStatsEdgeCases: the merge of nothing is the zero value, a
+// single shard passes through unchanged.
+func TestMergeEngineStatsEdgeCases(t *testing.T) {
+	z := MergeEngineStats()
+	if z.Admitted != 0 || z.Now != 0 || len(z.Slowdowns) != 0 {
+		t.Errorf("empty merge = %+v, want zero", z)
+	}
+
+	one := EngineStats{
+		Now: 5, Epochs: 3, Admitted: 4, Completed: 4,
+		WeightedCCT: 20, WeightedResponse: 9,
+		Slowdowns: []float64{1.5, 2.5, 3.5}, SolveLatencies: []float64{0.1},
+	}
+	m := MergeEngineStats(one)
+	if m.Now != one.Now || m.Admitted != one.Admitted || m.WeightedCCT != one.WeightedCCT {
+		t.Errorf("single-shard merge = %+v, want %+v", m, one)
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if got, want := stats.Percentile(m.Slowdowns, p), stats.Percentile(one.Slowdowns, p); got != want {
+			t.Errorf("p%v = %v, want %v", p, got, want)
+		}
+	}
+
+	// Empty shards contribute nothing but do not poison the merge.
+	m = MergeEngineStats(EngineStats{}, one, EngineStats{})
+	if m.Admitted != 4 || len(m.Slowdowns) != 3 {
+		t.Errorf("merge with empty shards = %+v", m)
+	}
+}
+
+// TestMergeEngineStatsReservoirTolerance: with overflowing reservoirs, merged
+// percentiles track a single pooled computation within tolerance — the
+// property that makes gateway-reported tails trustworthy.
+func TestMergeEngineStatsReservoirTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shardCounts := []int{statsWindow, statsWindow / 2, statsWindow * 2}
+	shards := make([]EngineStats, len(shardCounts))
+	var pooled []float64
+	for i, n := range shardCounts {
+		samples := make([]float64, 0, n)
+		for j := 0; j < n; j++ {
+			v := 1 + math.Exp(rng.NormFloat64())*float64(i+1)
+			samples = append(samples, v)
+			pooled = append(pooled, v)
+		}
+		// A real shard reports at most statsWindow samples; emulate the ring.
+		if len(samples) > statsWindow {
+			samples = samples[len(samples)-statsWindow:]
+			pooled = pooled[:len(pooled)-n]
+			pooled = append(pooled, samples...)
+		}
+		shards[i] = EngineStats{Slowdowns: samples}
+	}
+	m := MergeEngineStats(shards...)
+	if len(m.Slowdowns) > statsWindow {
+		t.Fatalf("merged reservoir %d samples, window %d", len(m.Slowdowns), statsWindow)
+	}
+	spread := stats.Percentile(pooled, 99) - stats.Percentile(pooled, 1)
+	for _, p := range []float64{50, 90, 95, 99} {
+		got, want := stats.Percentile(m.Slowdowns, p), stats.Percentile(pooled, p)
+		if math.Abs(got-want) > 0.1*spread {
+			t.Errorf("p%v = %v, pooled %v (spread %v)", p, got, want, spread)
+		}
+	}
+}

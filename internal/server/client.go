@@ -18,42 +18,134 @@ import (
 )
 
 // Client is a small typed client for the coflowd HTTP API, shared by
-// cmd/coflowload and the closed-loop tests.
+// cmd/coflowload, the cluster gateway and the closed-loop tests.
+//
+// Every request carries the HTTPClient's timeout (so a hung backend fails the
+// request instead of stalling the caller forever) and transient failures —
+// transport errors and 429/502/503/504 responses — are retried up to Retries
+// times with exponentially growing, jittered backoff. Retrying an Admit whose
+// response was lost can admit the coflow twice; callers that need exactly-once
+// admission must disable retries (WithRetries(0, 0)) and reconcile themselves.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
 	BaseURL string
 	// HTTPClient defaults to a client with a 10s timeout.
 	HTTPClient *http.Client
+	// Retries is the number of additional attempts after a transient failure
+	// (default 2; 0 disables retrying).
+	Retries int
+	// RetryBase is the backoff before the first retry; each further retry
+	// doubles it, and every wait is jittered to half-to-full of its nominal
+	// value so synchronized clients do not stampede a recovering backend.
+	// Default 50ms.
+	RetryBase time.Duration
+}
+
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-request timeout (covering connect, request and
+// response body).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.HTTPClient.Timeout = d }
+}
+
+// WithRetries sets the transient-failure retry budget and the base backoff.
+// n is the number of retries after the initial attempt; base <= 0 keeps the
+// default backoff.
+func WithRetries(n int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		c.Retries = n
+		if base > 0 {
+			c.RetryBase = base
+		}
+	}
 }
 
 // NewClient builds a client for the given base URL.
-func NewClient(base string) *Client {
-	return &Client{
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
 		BaseURL:    strings.TrimRight(base, "/"),
 		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+		Retries:    2,
+		RetryBase:  50 * time.Millisecond,
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// retryableStatus reports whether a response code signals a transient
+// condition worth retrying: overload (429), or a gateway/availability failure
+// (502/503/504). Everything else — notably 4xx validation errors — fails fast.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// doJSON performs one API call with the retry policy applied. body may be nil
+// for GETs; it is re-sent from scratch on every attempt.
+func (c *Client) doJSON(method, path string, body []byte, out any) error {
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff with half-to-full jitter.
+			nominal := c.RetryBase << (attempt - 1)
+			if nominal <= 0 {
+				nominal = 50 * time.Millisecond
+			}
+			time.Sleep(nominal/2 + time.Duration(rand.Int63n(int64(nominal/2)+1)))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.HTTPClient.Do(req)
+		if err != nil {
+			lastErr = err // transport failure (refused, reset, timeout): retry
+			continue
+		}
+		code := resp.StatusCode
+		err = decodeResponse(resp, out)
+		if err != nil && retryableStatus(code) {
+			lastErr = err
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("server: %d attempts failed: %w", attempts, lastErr)
 }
 
 func (c *Client) get(path string, out any) error {
-	resp, err := c.HTTPClient.Get(c.BaseURL + path)
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
+	return c.doJSON(http.MethodGet, path, nil, out)
 }
 
 // Admit posts one coflow; flow Release fields are offsets from admission.
+// Under the retry policy admission is at-least-once: if a response is lost in
+// transit the retried request can create a second copy on the server.
 func (c *Client) Admit(cf coflow.Coflow) (AdmitResponse, error) {
 	body, err := json.Marshal(cf)
 	if err != nil {
 		return AdmitResponse{}, err
 	}
-	resp, err := c.HTTPClient.Post(c.BaseURL+"/v1/coflows", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return AdmitResponse{}, err
-	}
 	var out AdmitResponse
-	return out, decodeResponse(resp, &out)
+	return out, c.doJSON(http.MethodPost, "/v1/coflows", body, &out)
 }
 
 // Coflow fetches one coflow's status.
@@ -74,6 +166,14 @@ func (c *Client) Stats() (StatsResponse, error) {
 	return out, c.get("/v1/stats", &out)
 }
 
+// StatsSamples fetches the aggregate statistics together with the raw
+// percentile sample reservoirs — what the cluster gateway scatter-gathers to
+// compute merged tails.
+func (c *Client) StatsSamples() (StatsResponse, error) {
+	var out StatsResponse
+	return out, c.get("/v1/stats?samples=1", &out)
+}
+
 // Health fetches the health summary.
 func (c *Client) Health() (HealthResponse, error) {
 	var out HealthResponse
@@ -86,18 +186,37 @@ func (c *Client) Network() (NetworkResponse, error) {
 	return out, c.get("/v1/network", &out)
 }
 
+// APIError is a non-2xx response decoded into an error. Callers that need to
+// distinguish validation failures (4xx: retrying or re-routing cannot help)
+// from availability failures (5xx: another backend might succeed) unwrap it
+// with errors.As; the cluster gateway's placement fallback does exactly that.
+type APIError struct {
+	// StatusCode is the HTTP status; Status its text form.
+	StatusCode int
+	Status     string
+	// Message is the server's JSON error message (or raw body).
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s: %s", e.Status, e.Message)
+}
+
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
 		var e errorResponse
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(body))
 		}
-		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return apiErr
 	}
 	return json.Unmarshal(body, out)
 }

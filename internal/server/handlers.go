@@ -77,6 +77,15 @@ type StatsResponse struct {
 	SolveMsP50       float64 `json:"solve_ms_p50"`
 	SolveMsP95       float64 `json:"solve_ms_p95"`
 	SolveMsP99       float64 `json:"solve_ms_p99"`
+	// Shard echoes the daemon's cluster identity (empty standalone).
+	Shard string `json:"shard,omitempty"`
+	// Slowdowns and SolveLatencies are the raw bounded sample reservoirs
+	// behind the percentiles (solve latencies in seconds). Only populated
+	// when the request asks for them (GET /v1/stats?samples=1): they are what
+	// a cluster gateway needs to merge percentile tails across shards, which
+	// summary percentiles alone cannot do.
+	Slowdowns      []float64 `json:"slowdowns,omitempty"`
+	SolveLatencies []float64 `json:"solve_latencies,omitempty"`
 }
 
 // HealthResponse is GET /healthz.
@@ -113,16 +122,17 @@ func (s *Server) Handler() http.Handler {
 	return s.countRequests(mux)
 }
 
-// maxBodyBytes bounds POST bodies; the largest legitimate coflows are a few
-// thousand flows, well under this.
-const maxBodyBytes = 8 << 20
+// MaxBodyBytes bounds POST bodies; the largest legitimate coflows are a few
+// thousand flows, well under this. Shared with the cluster gateway so the
+// daemon and the front door enforce the same admission cap.
+const MaxBodyBytes = 8 << 20
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	var cf coflow.Coflow
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cf); err != nil {
-		respondError(w, http.StatusBadRequest, "decoding coflow: "+err.Error())
+		RespondError(w, http.StatusBadRequest, "decoding coflow: "+err.Error())
 		return
 	}
 	var resp AdmitResponse
@@ -142,30 +152,30 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case err != nil:
-		respondError(w, http.StatusServiceUnavailable, err.Error())
+		RespondError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(admitErr, errDraining):
-		respondError(w, http.StatusServiceUnavailable, admitErr.Error())
+		RespondError(w, http.StatusServiceUnavailable, admitErr.Error())
 	case admitErr != nil:
-		respondError(w, http.StatusBadRequest, admitErr.Error())
+		RespondError(w, http.StatusBadRequest, admitErr.Error())
 	default:
-		respondJSON(w, http.StatusCreated, resp)
+		RespondJSON(w, http.StatusCreated, resp)
 	}
 }
 
 func (s *Server) handleCoflow(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		respondError(w, http.StatusBadRequest, "invalid coflow id")
+		RespondError(w, http.StatusBadRequest, "invalid coflow id")
 		return
 	}
 	var st online.CoflowStatus
 	var found bool
 	if err := s.do(func() { st, found = s.eng.CoflowStatus(id) }); err != nil {
-		respondError(w, http.StatusServiceUnavailable, err.Error())
+		RespondError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	if !found {
-		respondError(w, http.StatusNotFound, "unknown coflow id")
+		RespondError(w, http.StatusNotFound, "unknown coflow id")
 		return
 	}
 	resp := CoflowResponse{
@@ -183,7 +193,7 @@ func (s *Server) handleCoflow(w http.ResponseWriter, r *http.Request) {
 		completion, cct, slowdown := st.Completion, st.Response, st.Slowdown
 		resp.Completion, resp.CCT, resp.Slowdown = &completion, &cct, &slowdown
 	}
-	respondJSON(w, http.StatusOK, resp)
+	RespondJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -195,22 +205,22 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			resp.Order = append(resp.Order, ScheduleEntry{Coflow: ref.Coflow, Flow: ref.Index})
 		}
 	}); err != nil {
-		respondError(w, http.StatusServiceUnavailable, err.Error())
+		RespondError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	if resp.Order == nil {
 		resp.Order = []ScheduleEntry{}
 	}
-	respondJSON(w, http.StatusOK, resp)
+	RespondJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Stats()
 	if err != nil {
-		respondError(w, http.StatusServiceUnavailable, err.Error())
+		RespondError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	respondJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Now:              st.Now,
 		Policy:           s.cfg.Policy.Name(),
 		EpochLength:      s.cfg.EpochLength,
@@ -228,7 +238,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SolveMsP50:       pct(st.SolveLatencies, 50) * 1e3,
 		SolveMsP95:       pct(st.SolveLatencies, 95) * 1e3,
 		SolveMsP99:       pct(st.SolveLatencies, 99) * 1e3,
-	})
+		Shard:            s.cfg.Shard,
+	}
+	if r.URL.Query().Get("samples") != "" {
+		resp.Slowdowns = st.Slowdowns
+		resp.SolveLatencies = st.SolveLatencies
+	}
+	RespondJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
@@ -237,7 +253,7 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	for _, h := range g.Hosts() {
 		resp.Hosts = append(resp.Hosts, int(h))
 	}
-	respondJSON(w, http.StatusOK, resp)
+	RespondJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -250,21 +266,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Admitted: s.eng.NumCoflows(),
 		}
 	}); err != nil {
-		respondError(w, http.StatusServiceUnavailable, err.Error())
+		RespondError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	respondJSON(w, http.StatusOK, resp)
+	RespondJSON(w, http.StatusOK, resp)
 }
 
 // pct keeps NaN out of JSON: encoding/json cannot marshal it.
 func pct(xs []float64, p float64) float64 { return stats.PercentileOr(xs, p, 0) }
 
-func respondJSON(w http.ResponseWriter, code int, payload any) {
+// RespondJSON writes one JSON response. Exported for the cluster gateway,
+// which mirrors this daemon's wire behavior and must not drift from it.
+func RespondJSON(w http.ResponseWriter, code int, payload any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(payload)
 }
 
-func respondError(w http.ResponseWriter, code int, msg string) {
-	respondJSON(w, code, errorResponse{Error: msg})
+// RespondError writes the JSON error envelope every non-2xx response uses
+// (the shape decodeResponse and the gateway parse back out).
+func RespondError(w http.ResponseWriter, code int, msg string) {
+	RespondJSON(w, code, errorResponse{Error: msg})
 }

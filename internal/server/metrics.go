@@ -14,24 +14,25 @@ type metrics struct {
 	requestErrors atomic.Int64
 }
 
-// statusRecorder captures the response code written by a handler.
-type statusRecorder struct {
+// StatusRecorder captures the response code written by a handler. Exported
+// for the cluster gateway's request accounting, which mirrors this daemon's.
+type StatusRecorder struct {
 	http.ResponseWriter
-	code int
+	Code int
 }
 
-func (r *statusRecorder) WriteHeader(code int) {
-	r.code = code
+func (r *StatusRecorder) WriteHeader(code int) {
+	r.Code = code
 	r.ResponseWriter.WriteHeader(code)
 }
 
 // countRequests wraps the mux with request/error accounting for /metrics.
 func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		rec := &StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		s.metrics.requests.Add(1)
-		if rec.code >= 400 {
+		if rec.Code >= 400 {
 			s.metrics.requestErrors.Add(1)
 		}
 	})
@@ -43,12 +44,18 @@ func (s *Server) countRequests(next http.Handler) http.Handler {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st, ticks, err := s.metricsSnapshot()
 	if err != nil {
-		respondError(w, http.StatusServiceUnavailable, err.Error())
+		RespondError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	var b strings.Builder
+	// With a shard identity configured, every series carries it as a label so
+	// a gateway scraping N backends can tell their time series apart.
+	labels := ""
+	if s.cfg.Shard != "" {
+		labels = fmt.Sprintf(`{shard=%q}`, s.cfg.Shard)
+	}
 	line := func(name string, v float64) {
-		fmt.Fprintf(&b, "%s %g\n", name, v)
+		fmt.Fprintf(&b, "%s%s %g\n", name, labels, v)
 	}
 	line("coflowd_up", 1)
 	line("coflowd_sim_now", st.Now)

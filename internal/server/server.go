@@ -46,6 +46,10 @@ type Config struct {
 	TimeScale float64
 	// CandidatePaths bounds admission-time routing (default 4).
 	CandidatePaths int
+	// Shard, when non-empty, is this daemon's identity in a multi-backend
+	// cluster: every /metrics line gains a {shard="..."} label so metrics
+	// scraped from several backends by one gateway stay distinguishable.
+	Shard string
 	// Logf, when non-nil, receives operational log lines (solver failures,
 	// drain progress). Defaults to discarding them.
 	Logf func(format string, args ...any)

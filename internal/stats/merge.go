@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MergeSamples merges several bounded sample reservoirs into one reservoir of
+// at most limit samples, preserving the pooled distribution: percentiles of
+// the merged output approximate percentiles of the concatenation of every
+// group, with each group contributing proportionally to its size.
+//
+// When the pooled sample count fits within limit the groups are simply
+// concatenated (the merge is then exact). Otherwise each group is reduced to
+// its share of the budget by taking evenly spaced order statistics (with
+// linear interpolation, the same estimator Percentile uses), so a group's
+// quantile structure survives the downsampling. The result is deterministic.
+//
+// A limit <= 0 means unbounded (plain concatenation). The inputs are not
+// modified.
+func MergeSamples(limit int, groups ...[]float64) []float64 {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total == 0 {
+		return nil
+	}
+	if limit <= 0 || total <= limit {
+		out := make([]float64, 0, total)
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+		return out
+	}
+	out := make([]float64, 0, limit)
+	remCap, remTotal := limit, total
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		// Sequential proportional allocation: rounding error flows into the
+		// remaining groups instead of accumulating, and every non-empty group
+		// keeps at least one sample while budget remains.
+		k := int(math.Round(float64(remCap) * float64(len(g)) / float64(remTotal)))
+		if k < 1 {
+			k = 1
+		}
+		if k > remCap {
+			k = remCap
+		}
+		remTotal -= len(g)
+		remCap -= k
+		if k == 0 {
+			continue
+		}
+		s := append([]float64(nil), g...)
+		sort.Float64s(s)
+		for i := 0; i < k; i++ {
+			// Mid-quantile positions (i+0.5)/k spread the k picks across the
+			// group's whole range without over-weighting the extremes.
+			pos := (float64(i) + 0.5) / float64(k) * float64(len(s)-1)
+			lo := int(math.Floor(pos))
+			hi := int(math.Ceil(pos))
+			if lo == hi {
+				out = append(out, s[lo])
+			} else {
+				frac := pos - float64(lo)
+				out = append(out, s[lo]*(1-frac)+s[hi]*frac)
+			}
+		}
+	}
+	return out
+}

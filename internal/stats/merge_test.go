@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeSamplesExactWhenUnderLimit: groups that fit the budget concatenate,
+// so merged percentiles equal pooled percentiles exactly.
+func TestMergeSamplesExactWhenUnderLimit(t *testing.T) {
+	cases := []struct {
+		name   string
+		limit  int
+		groups [][]float64
+	}{
+		{"two small groups", 100, [][]float64{{3, 1, 2}, {10, 20}}},
+		{"single group", 10, [][]float64{{5, 4, 3, 2, 1}}},
+		{"unbounded", 0, [][]float64{{1, 2}, {3, 4}, {5, 6}}},
+		{"empty groups interleaved", 100, [][]float64{nil, {1, 2, 3}, {}, {4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var pooled []float64
+			for _, g := range tc.groups {
+				pooled = append(pooled, g...)
+			}
+			merged := MergeSamples(tc.limit, tc.groups...)
+			if len(merged) != len(pooled) {
+				t.Fatalf("merged %d samples, want %d", len(merged), len(pooled))
+			}
+			for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+				got, want := Percentile(merged, p), Percentile(pooled, p)
+				if got != want {
+					t.Errorf("p%v = %v, want %v", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeSamplesEmpty: no samples anywhere merges to nothing (the NaN
+// percentile contract of empty reservoirs is preserved, not masked).
+func TestMergeSamplesEmpty(t *testing.T) {
+	if got := MergeSamples(10); got != nil {
+		t.Fatalf("MergeSamples() = %v, want nil", got)
+	}
+	if got := MergeSamples(10, nil, []float64{}, nil); got != nil {
+		t.Fatalf("MergeSamples(empty groups) = %v, want nil", got)
+	}
+	if !math.IsNaN(Percentile(MergeSamples(10, nil), 50)) {
+		t.Fatal("percentile of an empty merge should stay NaN")
+	}
+}
+
+// TestMergeSamplesBounded: the output respects the limit and its percentiles
+// track the pooled computation within a tolerance even after downsampling.
+func TestMergeSamplesBounded(t *testing.T) {
+	cases := []struct {
+		name  string
+		limit int
+		sizes []int // per-group sample counts, drawn from distinct ranges
+	}{
+		{"two equal shards", 64, []int{500, 500}},
+		{"skewed shards", 64, []int{900, 100}},
+		{"eight shards", 128, []int{200, 200, 200, 200, 200, 200, 200, 200}},
+		{"one empty shard", 64, []int{400, 0, 400}},
+		{"tiny budget", 8, []int{100, 100}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			groups := make([][]float64, len(tc.sizes))
+			var pooled []float64
+			for i, n := range tc.sizes {
+				for j := 0; j < n; j++ {
+					// Lognormal-ish positive samples, the shape of slowdowns.
+					v := math.Exp(rng.NormFloat64()*0.5) * float64(i+1)
+					groups[i] = append(groups[i], v)
+					pooled = append(pooled, v)
+				}
+			}
+			merged := MergeSamples(tc.limit, groups...)
+			if len(merged) > tc.limit {
+				t.Fatalf("merged %d samples, limit %d", len(merged), tc.limit)
+			}
+			if len(merged) == 0 {
+				t.Fatal("merged no samples")
+			}
+			// Tolerance scales with the pooled spread: the merge estimates
+			// quantiles from a bounded reservoir, it is not exact.
+			spread := Percentile(pooled, 99) - Percentile(pooled, 1)
+			tol := 0.15 * spread
+			if tc.limit < 16 {
+				tol = 0.35 * spread // a handful of samples is a coarse sketch
+			}
+			for _, p := range []float64{10, 50, 90, 95} {
+				got, want := Percentile(merged, p), Percentile(pooled, p)
+				if math.Abs(got-want) > tol {
+					t.Errorf("p%v = %v, pooled %v (tolerance %v)", p, got, want, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeSamplesDeterministic: identical inputs produce identical outputs,
+// the property the golden harness and bench trajectories rely on.
+func TestMergeSamplesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 300)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.Float64() * 10
+	}
+	for i := range b {
+		b[i] = rng.Float64() * 100
+	}
+	x := MergeSamples(50, a, b)
+	y := MergeSamples(50, a, b)
+	if len(x) != len(y) {
+		t.Fatalf("lengths differ: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, x[i], y[i])
+		}
+	}
+}

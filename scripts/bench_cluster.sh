@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Records the cluster scaling trajectory into BENCH_sim.json (JSON Lines).
+#
+# Usage: scripts/bench_cluster.sh [label]
+#
+# Each invocation appends one object: the coflowbench `-experiment cluster
+# -json` result — the identical workload replayed through an in-process
+# coflowgate fronting 1/2/4/8 coflowd shards, with per-row admit throughput,
+# parallel-drain wall time and the merged scheduling objectives
+# (online.MergeEngineStats across the shards).
+#
+# The label tags the snapshot (defaults to the current commit). SHARDS and
+# COFLOWS override the sweep shape, e.g. SHARDS=1,4,16 COFLOWS=400.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+shards="${SHARDS:-1,2,4,8}"
+coflows="${COFLOWS:-160}"
+out="BENCH_sim.json"
+
+go run ./cmd/coflowbench -experiment cluster -shards "$shards" -coflows "$coflows" -json |
+  sed "s/^{/{\"label\":\"$label\",/" >>"$out"
+
+echo "bench_cluster: appended snapshot \"$label\" to $out" >&2
