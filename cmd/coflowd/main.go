@@ -12,8 +12,11 @@
 //	GET  /v1/schedule      current residual priority order
 //	GET  /v1/stats         weighted CCT/response, slowdown and solve-latency percentiles
 //	GET  /v1/network       topology summary (host ids for load generators)
+//	GET  /v1/epochs        recent scheduler epochs: tick/decide latency, order churn, active counts
 //	GET  /healthz          liveness
-//	GET  /metrics          Prometheus-style text metrics
+//	GET  /metrics          Prometheus text metrics (shared telemetry registry)
+//	GET  /debug/traces     coflow lifecycle trace spans (JSON ring, ?trace= filters)
+//	GET  /debug/pprof/     runtime profiles
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the listener drains, the engine
 // runs every in-flight coflow to completion, and the final statistics are
@@ -36,6 +39,7 @@ import (
 	"coflowsched/internal/online"
 	"coflowsched/internal/server"
 	"coflowsched/internal/stats"
+	"coflowsched/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +51,8 @@ func main() {
 		fatK       = flag.Int("fatk", 4, "fat-tree arity (k=4: 16 servers, k=8: the paper's 128)")
 		candidates = flag.Int("paths", 4, "candidate paths per flow at admission")
 		shard      = flag.String("shard", "", "cluster shard identity: labels every /metrics series with {shard=\"...\"} so gateway-scraped backends stay distinguishable")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 
@@ -73,6 +79,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Component and shard fields are attached by the server's own call sites
+	// and Config defaults, so the base logger carries neither.
+	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), *logFormat, "", "")
 	s, err := server.New(server.Config{
 		Network:        graph.FatTree(*fatK, 1),
 		Policy:         policy,
@@ -80,7 +89,7 @@ func main() {
 		TimeScale:      *timeScale,
 		CandidatePaths: *candidates,
 		Shard:          *shard,
-		Logf:           log.Printf,
+		Logger:         logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coflowd:", err)

@@ -21,8 +21,11 @@
 //	GET  /v1/stats         merged objectives, counters and percentile reservoirs
 //	GET  /v1/network       shard topology (all shards are built alike)
 //	GET  /v1/backends      shard roster with health state
+//	GET  /v1/epochs        every shard's recent scheduler epochs, side by side
 //	GET  /healthz          gateway + shard health
-//	GET  /metrics          coflowgate_* text metrics, per-backend labelled
+//	GET  /metrics          coflowgate_* Prometheus text metrics, per-backend labelled
+//	GET  /debug/traces     gateway-side lifecycle trace spans (join to shards by trace id)
+//	GET  /debug/pprof/     runtime profiles
 //
 // Backends are health-checked; a failing shard is ejected with exponential
 // re-probe backoff and its in-flight coflows are re-admitted on the
@@ -47,6 +50,7 @@ import (
 	"coflowsched/internal/cluster"
 	"coflowsched/internal/online"
 	"coflowsched/internal/stats"
+	"coflowsched/internal/telemetry"
 )
 
 func main() {
@@ -75,6 +79,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		epochLen       = fs.Float64("epoch", 2.0, "shard epoch length for -local")
 		timeScale      = fs.Float64("timescale", 1.0, "shard simulated time units per wall second for -local")
 		fatK           = fs.Int("fatk", 4, "shard fat-tree arity for -local")
+		logLevel       = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat      = fs.String("log-format", "text", "log output format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,12 +92,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger := telemetry.NewLogger(stderr, telemetry.ParseLevel(*logLevel), *logFormat, "", "")
 	gcfg := cluster.Config{
 		Placement:      placement,
 		HealthInterval: *healthInterval,
 		BatchSize:      *batch,
 		BatchInterval:  *batchInterval,
-		Logf:           log.Printf,
+		Logger:         logger,
 	}
 
 	var g *cluster.Gateway
@@ -113,7 +120,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			TimeScale:   *timeScale,
 			FatK:        *fatK,
 			Gateway:     gcfg,
-			Logf:        log.Printf,
+			Logger:      logger,
 		})
 		if err != nil {
 			return err

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		wait        = fs.Bool("wait", false, "poll until every admitted coflow completes")
 		waitTimeout = fs.Duration("wait-timeout", 60*time.Second, "completion polling budget with -wait")
 		quiet       = fs.Bool("quiet", false, "suppress progress logging")
+		jsonOut     = fs.Bool("json", false, "print the run summary as one JSON object (machine-readable; implies -quiet on stdout formatting only)")
 
 		clusterN  = fs.Int("cluster", 0, "replay against an in-process cluster of this many coflowd shards behind a coflowgate gateway (overrides -target)")
 		placement = fs.String("cluster-placement", "hash", "gateway placement with -cluster: hash, least-load")
@@ -160,20 +162,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	report, err := server.RunLoad(c, cfg)
 	if err != nil {
-		if report != nil {
+		if report != nil && !*jsonOut {
 			fmt.Fprintln(stdout, report)
 		}
 		return err
 	}
-	fmt.Fprintln(stdout, report)
 
+	var daemonStats *server.StatsResponse
 	if *wait {
 		st, err := c.Stats()
 		if err != nil {
 			return fmt.Errorf("fetching final stats: %v", err)
 		}
-		fmt.Fprintf(stdout, "daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
-			st.Admitted, st.Completed, st.WeightedCCT, st.WeightedResponse, st.SlowdownP95, st.SolveMsP95)
+		daemonStats = &st
+	}
+	if *jsonOut {
+		// One JSON object on stdout: the replay summary plus, with -wait, the
+		// daemon's final scheduling statistics — scriptable run comparison.
+		out := struct {
+			Target string                `json:"target"`
+			Load   *server.LoadReport    `json:"load"`
+			Daemon *server.StatsResponse `json:"daemon,omitempty"`
+		}{Target: targetURL, Load: report, Daemon: daemonStats}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(stdout, report)
+		if daemonStats != nil {
+			st := daemonStats
+			fmt.Fprintf(stdout, "daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
+				st.Admitted, st.Completed, st.WeightedCCT, st.WeightedResponse, st.SlowdownP95, st.SolveMsP95)
+		}
 	}
 	if report.Failures > 0 {
 		return errFailedRequests

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -74,6 +75,45 @@ func TestRunTraceReplay(t *testing.T) {
 	}
 	if !strings.Contains(out, "daemon: admitted=3 completed=3") {
 		t.Errorf("missing daemon stats line:\n%s", out)
+	}
+}
+
+// TestRunJSONOutput: -json prints one machine-readable object with the load
+// summary and (with -wait) the daemon's final statistics.
+func TestRunJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-cluster", "1", "-cluster-timescale", "200",
+		"-coflows", "5", "-rate", "500", "-wait", "-quiet", "-json",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run -json: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	var out struct {
+		Target string `json:"target"`
+		Load   struct {
+			Requests    int     `json:"requests"`
+			Failures    int     `json:"failures"`
+			AchievedRPS float64 `json:"achieved_rps"`
+			P95         float64 `json:"admit_latency_p95_seconds"`
+			Completed   int     `json:"completed"`
+		} `json:"load"`
+		Daemon *struct {
+			Admitted  int `json:"admitted"`
+			Completed int `json:"completed"`
+		} `json:"daemon"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("stdout is not one JSON object: %v\n%s", err, stdout.String())
+	}
+	if out.Target == "" || out.Load.Requests != 5 || out.Load.Failures != 0 || out.Load.Completed != 5 {
+		t.Errorf("unexpected JSON load summary: %+v", out)
+	}
+	if out.Load.AchievedRPS <= 0 || out.Load.P95 <= 0 {
+		t.Errorf("JSON summary lacks throughput/latency: %+v", out.Load)
+	}
+	if out.Daemon == nil || out.Daemon.Completed != 5 {
+		t.Errorf("JSON summary lacks daemon stats: %+v", out.Daemon)
 	}
 }
 

@@ -23,8 +23,10 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/online"
 	"coflowsched/internal/server"
+	"coflowsched/internal/telemetry"
 )
 
 // Config parameterizes the gateway.
@@ -60,8 +63,17 @@ type Config struct {
 	ClientTimeout   time.Duration
 	ClientRetries   int
 	ClientRetryBase time.Duration
-	// Logf receives operational log lines (ejections, re-admissions).
+	// Logger receives structured operational logs (ejections, recoveries,
+	// re-admissions) with a component=coflowgate field attached. When nil,
+	// Logf is bridged through a line-formatting handler; when that is nil
+	// too, logs are discarded.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style sink, still honored for compatibility
+	// (tests pass t.Logf here). Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// TraceCapacity bounds the gateway's lifecycle-trace span ring served at
+	// /debug/traces (default telemetry.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,8 +106,8 @@ func (c Config) withDefaults() Config {
 	if c.ClientRetryBase <= 0 {
 		c.ClientRetryBase = 50 * time.Millisecond
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = telemetry.LogfLogger(c.Logf) // nil Logf discards
 	}
 	return c
 }
@@ -152,6 +164,7 @@ type routed struct {
 	backend  *Backend // nil while queued or orphaned by an ejection
 	localID  int
 	arrival  float64 // shard-local admission clock, echoed to the client
+	trace    string  // lifecycle trace id, propagated to the owning shard
 	admitted bool
 	failed   bool // admission failed terminally (validation, or initial 503)
 	// orphaned marks an acknowledged coflow detached by an ejection and not
@@ -164,14 +177,18 @@ type routed struct {
 }
 
 type admitItem struct {
-	gid  int
-	done chan error
+	gid      int
+	enqueued time.Time
+	done     chan error
 }
 
 // Gateway is the cluster front door.
 type Gateway struct {
-	cfg   Config
-	start time.Time
+	cfg     Config
+	start   time.Time
+	metrics *gateMetrics
+	tracer  *telemetry.Tracer
+	logger  *slog.Logger
 
 	mu        sync.Mutex
 	backends  []*Backend
@@ -184,26 +201,32 @@ type Gateway struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	requests      atomic.Int64
-	requestErrors atomic.Int64
-	sweeping      atomic.Bool
+	sweeping atomic.Bool
 }
 
 // New builds and starts a gateway: the admit batcher and the health prober
 // begin immediately. Callers must Close it. Backends are added with
 // AddBackend.
 func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
 	g := &Gateway{
-		cfg:   cfg.withDefaults(),
-		start: time.Now(),
-		queue: make(chan admitItem),
-		quit:  make(chan struct{}),
+		cfg:     cfg,
+		start:   time.Now(),
+		metrics: newGateMetrics(),
+		tracer:  telemetry.NewTracer("coflowgate", "", cfg.TraceCapacity),
+		logger:  cfg.Logger.With("component", "coflowgate"),
+		queue:   make(chan admitItem),
+		quit:    make(chan struct{}),
 	}
 	g.wg.Add(2)
 	go g.batcher()
 	go g.healthLoop()
 	return g
 }
+
+// Tracer exposes the gateway's lifecycle-span ring (tests join it against the
+// shards').
+func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
 
 // Close stops the gateway's goroutines. In-flight admissions fail with a
 // closed error. Safe to call more than once.
@@ -217,7 +240,8 @@ func (g *Gateway) Close() {
 func (g *Gateway) newBackendClient(url string) *server.Client {
 	return server.NewClient(url,
 		server.WithTimeout(g.cfg.ClientTimeout),
-		server.WithRetries(g.cfg.ClientRetries, g.cfg.ClientRetryBase))
+		server.WithRetries(g.cfg.ClientRetries, g.cfg.ClientRetryBase),
+		server.WithInstrumentation(g.metrics.clientRetries, g.logger))
 }
 
 // AddBackend registers a shard under a unique name. It enters the placement
@@ -301,16 +325,28 @@ func (g *Gateway) healthyLocked(skip map[*Backend]bool) []*Backend {
 // from admission, exactly as coflowd defines them; the returned arrival is on
 // the owning shard's clock.
 func (g *Gateway) Admit(cf coflow.Coflow) (server.AdmitResponse, error) {
+	return g.AdmitTraced(cf, "")
+}
+
+// AdmitTraced is Admit under a caller-supplied lifecycle trace id (empty
+// mints a fresh one). The id is propagated to the owning shard with every
+// placement attempt, so the gateway's admit/batch-flush/placement spans and
+// the shard's shard-admit/completion spans join at /debug/traces.
+func (g *Gateway) AdmitTraced(cf coflow.Coflow, trace string) (server.AdmitResponse, error) {
 	if len(cf.Flows) == 0 {
 		return server.AdmitResponse{}, errNoFlows
 	}
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+	}
+	t0 := time.Now()
 	g.mu.Lock()
 	gid := len(g.coflows)
-	rc := &routed{spec: cf}
+	rc := &routed{spec: cf, trace: trace}
 	g.coflows = append(g.coflows, rc)
 	g.mu.Unlock()
 
-	item := admitItem{gid: gid, done: make(chan error, 1)}
+	item := admitItem{gid: gid, enqueued: t0, done: make(chan error, 1)}
 	select {
 	case g.queue <- item:
 	case <-g.quit:
@@ -325,8 +361,16 @@ func (g *Gateway) Admit(cf coflow.Coflow) (server.AdmitResponse, error) {
 		return server.AdmitResponse{}, errClosed
 	}
 	g.mu.Lock()
-	resp := server.AdmitResponse{ID: gid, Name: cf.Name, Arrival: rc.arrival}
+	resp := server.AdmitResponse{ID: gid, Name: cf.Name, Arrival: rc.arrival, Trace: trace}
 	g.mu.Unlock()
+	dur := time.Since(t0)
+	g.metrics.admitSeconds.Observe(dur.Seconds())
+	g.tracer.Record(telemetry.Span{
+		Name: "admit", Trace: trace, Coflow: gid, Duration: dur.Seconds(),
+		Attrs: map[string]string{"flows": strconv.Itoa(len(cf.Flows))},
+	})
+	g.logger.Debug("coflow admitted", "coflow", gid, "name", cf.Name,
+		"flows", len(cf.Flows), "trace", trace, "latency", dur)
 	return resp, nil
 }
 
@@ -345,7 +389,18 @@ func (g *Gateway) batcher() {
 	flush := func() {
 		items := batch
 		batch = nil
+		size := strconv.Itoa(len(items))
 		for _, it := range items {
+			// The batch-flush span is each item's queue wait: how long batching
+			// held the admission before placement began.
+			g.mu.Lock()
+			trace := g.coflows[it.gid].trace
+			g.mu.Unlock()
+			g.tracer.Record(telemetry.Span{
+				Name: "batch-flush", Trace: trace, Coflow: it.gid,
+				Duration: time.Since(it.enqueued).Seconds(),
+				Attrs:    map[string]string{"batch_size": size},
+			})
 			go func(it admitItem) {
 				it.done <- g.place(it.gid, true)
 			}(it)
@@ -403,7 +458,7 @@ func (g *Gateway) place(gid int, initial bool) error {
 		// would route a whole batch to one shard (every placement reading
 		// the same pre-admission counts).
 		b.outstanding++
-		spec := rc.spec
+		spec, trace := rc.spec, rc.trace
 		g.mu.Unlock()
 
 		unreserve := func() {
@@ -413,7 +468,17 @@ func (g *Gateway) place(gid int, initial bool) error {
 			}
 			g.mu.Unlock()
 		}
-		resp, err := b.client.Admit(spec)
+		t0 := time.Now()
+		resp, err := b.client.AdmitTraced(spec, trace)
+		span := telemetry.Span{
+			Name: "placement", Trace: trace, Coflow: gid,
+			Duration: time.Since(t0).Seconds(),
+			Attrs:    map[string]string{"backend": b.name},
+		}
+		if err != nil {
+			span.Attrs["error"] = err.Error()
+		}
+		g.tracer.Record(span)
 		if err != nil {
 			unreserve()
 			var apiErr *server.APIError
@@ -487,7 +552,7 @@ func (g *Gateway) noteBackendFailure(b *Backend, cause error) {
 	}
 	orphans := g.ejectLocked(b)
 	g.mu.Unlock()
-	g.cfg.Logf("cluster: backend %s ejected (%v), re-admitting %d in-flight coflows", b.name, cause, len(orphans))
+	g.logger.Warn("backend ejected", "backend", b.name, "cause", cause, "orphans", len(orphans))
 	go g.readmitOrphans(orphans)
 }
 
@@ -529,12 +594,14 @@ func (g *Gateway) ejectLocked(b *Backend) []int {
 func (g *Gateway) readmitOrphans(orphans []int) {
 	for _, gid := range orphans {
 		if err := g.place(gid, false); err != nil {
-			g.cfg.Logf("cluster: re-admitting coflow %d: %v (will retry on recovery)", gid, err)
+			g.logger.Warn("re-admission failed, will retry on recovery", "coflow", gid, "err", err)
 			continue
 		}
 		g.mu.Lock()
 		g.readmits++
+		trace := g.coflows[gid].trace
 		g.mu.Unlock()
+		g.logger.Info("coflow re-admitted after ejection", "coflow", gid, "trace", trace)
 	}
 }
 
@@ -654,7 +721,7 @@ func (g *Gateway) applyProbe(b *Backend, probeErr error) {
 		}
 		g.mu.Unlock()
 		if wasDown {
-			g.cfg.Logf("cluster: backend %s healthy again, re-admitted to rotation", b.name)
+			g.logger.Info("backend healthy again, re-admitted to rotation", "backend", b.name)
 			if len(stranded) > 0 {
 				// Detached: re-admission is retrying HTTP and must not hold
 				// up the probe round (probeAll waits on its probes).
@@ -672,7 +739,7 @@ func (g *Gateway) applyProbe(b *Backend, probeErr error) {
 		}
 		orphans := g.ejectLocked(b)
 		g.mu.Unlock()
-		g.cfg.Logf("cluster: backend %s ejected (%v), re-admitting %d in-flight coflows", b.name, probeErr, len(orphans))
+		g.logger.Warn("backend ejected", "backend", b.name, "cause", probeErr, "orphans", len(orphans))
 		go g.readmitOrphans(orphans)
 		return
 	}

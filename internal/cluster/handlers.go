@@ -3,15 +3,15 @@ package cluster
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/server"
 	"coflowsched/internal/stats"
+	"coflowsched/internal/telemetry"
 )
 
 // The gateway serves the same /v1/* JSON API as a single coflowd, so every
@@ -47,16 +47,19 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/coflows/{id}", g.handleCoflow)
 	mux.HandleFunc("GET /v1/schedule", g.handleSchedule)
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/epochs", g.handleEpochs)
 	mux.HandleFunc("GET /v1/network", g.handleNetwork)
 	mux.HandleFunc("GET /v1/backends", g.handleBackends)
 	mux.HandleFunc("GET /healthz", g.handleHealth)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.Handle("GET /debug/traces", g.tracer.Handler())
+	server.RegisterPprof(mux)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &server.StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
 		mux.ServeHTTP(rec, r)
-		g.requests.Add(1)
+		g.metrics.requests.Inc()
 		if rec.Code >= 400 {
-			g.requestErrors.Add(1)
+			g.metrics.requestErrors.Inc()
 		}
 	})
 }
@@ -69,7 +72,7 @@ func (g *Gateway) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		server.RespondError(w, http.StatusBadRequest, "decoding coflow: "+err.Error())
 		return
 	}
-	resp, err := g.Admit(cf)
+	resp, err := g.AdmitTraced(cf, r.Header.Get(telemetry.TraceHeader))
 	switch {
 	case err == nil:
 		server.RespondJSON(w, http.StatusCreated, resp)
@@ -190,33 +193,50 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	server.RespondJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics serves gateway-level Prometheus-style text metrics: routing
-// and health counters under coflowgate_*, one labelled per-backend series
-// per shard. Shard-internal scheduling metrics stay on the shards' own
-// /metrics (labelled via coflowd -shard).
-func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	c := g.CountersSnapshot()
-	roster := g.Backends()
-	var b strings.Builder
-	line := func(name string, v float64) { fmt.Fprintf(&b, "%s %g\n", name, v) }
-	line("coflowgate_up", 1)
-	line("coflowgate_coflows_total", float64(c.Coflows))
-	line("coflowgate_completed_total", float64(c.Completed))
-	line("coflowgate_readmits_total", float64(c.Readmits))
-	line("coflowgate_backends", float64(c.Backends))
-	line("coflowgate_backends_healthy", float64(c.Healthy))
-	line("coflowgate_http_requests_total", float64(g.requests.Load()))
-	line("coflowgate_http_request_errors_total", float64(g.requestErrors.Load()))
-	for _, bs := range roster {
-		up := 0.0
-		if bs.Healthy {
-			up = 1
+// ShardEpochs is one backend's contribution to GET /v1/epochs.
+type ShardEpochs struct {
+	Name string `json:"name"`
+	Err  string `json:"error,omitempty"`
+	server.EpochsResponse
+}
+
+// gateEpochsResponse is GET /v1/epochs on the gateway: every healthy shard's
+// recent-epoch ring, side by side. Shards run independent schedulers, so the
+// rings are reported per shard rather than merged — a slowdown tail usually
+// lives on one shard, and this view is how you find which.
+type gateEpochsResponse struct {
+	Shards []ShardEpochs `json:"shards"`
+}
+
+// handleEpochs scatter-gathers /v1/epochs?n= from every healthy backend.
+func (g *Gateway) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			server.RespondError(w, http.StatusBadRequest, "invalid n")
+			return
 		}
-		fmt.Fprintf(&b, "coflowgate_backend_up{shard=%q} %g\n", bs.Name, up)
-		fmt.Fprintf(&b, "coflowgate_backend_outstanding{shard=%q} %g\n", bs.Name, float64(bs.Outstanding))
-		fmt.Fprintf(&b, "coflowgate_backend_ejections_total{shard=%q} %g\n", bs.Name, float64(bs.Ejections))
+		n = v
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
+	g.mu.Lock()
+	backends := g.healthyLocked(nil)
+	g.mu.Unlock()
+	resp := gateEpochsResponse{Shards: make([]ShardEpochs, len(backends))}
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			resp.Shards[i].Name = b.name
+			ep, err := b.client.Epochs(n)
+			if err != nil {
+				resp.Shards[i].Err = err.Error()
+				return
+			}
+			resp.Shards[i].EpochsResponse = ep
+		}(i, b)
+	}
+	wg.Wait()
+	server.RespondJSON(w, http.StatusOK, resp)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -28,8 +29,11 @@ type LocalConfig struct {
 	CandidatePaths int
 	// Gateway configures the front door.
 	Gateway Config
-	// Logf receives shard and gateway logs.
-	Logf func(format string, args ...any)
+	// Logger receives structured shard and gateway logs (each shard's logger
+	// gains its shard field automatically). Logf is the legacy printf sink,
+	// used when Logger is nil.
+	Logger *slog.Logger
+	Logf   func(format string, args ...any)
 }
 
 func (c LocalConfig) withDefaults() (LocalConfig, error) {
@@ -47,6 +51,9 @@ func (c LocalConfig) withDefaults() (LocalConfig, error) {
 	}
 	if c.FatK <= 0 {
 		c.FatK = 4
+	}
+	if c.Logger != nil && c.Gateway.Logger == nil {
+		c.Gateway.Logger = c.Logger
 	}
 	if c.Logf != nil && c.Gateway.Logf == nil {
 		c.Gateway.Logf = c.Logf
@@ -109,6 +116,7 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 			TimeScale:      cfg.TimeScale,
 			CandidatePaths: cfg.CandidatePaths,
 			Shard:          name,
+			Logger:         cfg.Logger,
 			Logf:           cfg.Logf,
 		}
 		srv, err := server.New(scfg)
@@ -136,6 +144,11 @@ func (l *Local) Client() *server.Client { return server.NewClient(l.URL()) }
 
 // NumShards returns the configured shard count.
 func (l *Local) NumShards() int { return len(l.shards) }
+
+// ShardURL is shard i's base URL — what the gateway's backend client dials,
+// exposed so tests can hit a shard's own HTTP surface (metrics, traces)
+// directly.
+func (l *Local) ShardURL(i int) string { return l.shards[i].ts.URL }
 
 // Kill simulates a crash of shard i: its scheduler stops, every coflow it
 // owned is lost, and its listener answers 503 until Revive. The gateway's

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/telemetry"
+)
+
+// getJSON fetches one URL and decodes its JSON body.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("get %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("get %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// getMetrics fetches and strictly parses one /metrics endpoint.
+func getMetrics(t *testing.T, url string) *telemetry.Metrics {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("get metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("%s/metrics content type = %q", url, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	m, err := telemetry.ParseMetrics(string(body))
+	if err != nil {
+		t.Fatalf("%s/metrics does not parse: %v", url, err)
+	}
+	return m
+}
+
+// TestClusterObservability is the observability smoke run by the CI race job:
+// one coflow admitted through the gateway must produce (1) strictly parseable
+// /metrics on the gateway and a shard, (2) a lifecycle trace joined across
+// the gateway's and the owning shard's /debug/traces by the trace id the
+// admit response returned, and (3) well-formed /v1/epochs on both tiers.
+func TestClusterObservability(t *testing.T) {
+	l := newLocalCluster(t, 2, ConsistentHash{}, 200)
+	c := l.Client()
+
+	hosts := graph.FatTree(4, 1).Hosts()
+	cf := coflow.Coflow{Name: "obs", Weight: 1, Flows: []coflow.Flow{
+		{Source: hosts[0], Dest: hosts[1], Size: 1},
+		{Source: hosts[2], Dest: hosts[3], Size: 2},
+	}}
+	resp, err := c.Admit(cf)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if resp.Trace == "" {
+		t.Fatal("admit response carries no trace id")
+	}
+
+	// Wait for completion so the shard has recorded the whole lifecycle.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st, err := c.Coflow(resp.ID)
+		if err == nil && st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coflow did not complete (last: %+v, err=%v)", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// (1) Metrics: both tiers must serve a strictly parseable exposition with
+	// their stable series names.
+	gm := getMetrics(t, l.URL())
+	for _, name := range []string{
+		"coflowgate_up", "coflowgate_coflows_total", "coflowgate_backends_healthy",
+		"coflowgate_http_requests_total", "coflowgate_admit_seconds_bucket",
+	} {
+		if _, ok := firstSample(gm, name); !ok {
+			t.Errorf("gateway metrics missing %s", name)
+		}
+	}
+	if s, ok := gm.Get("coflowgate_backend_up", "shard", "shard0"); !ok || s.Value != 1 {
+		t.Errorf("coflowgate_backend_up{shard=shard0} = %+v, %v", s, ok)
+	}
+	sm := getMetrics(t, l.ShardURL(0))
+	for _, name := range []string{
+		"coflowd_up", "coflowd_coflows_admitted_total", "coflowd_tick_duration_seconds_bucket",
+		"coflowd_trace_spans_total",
+	} {
+		if _, ok := firstSample(sm, name); !ok {
+			t.Errorf("shard metrics missing %s", name)
+		}
+	}
+	if s, ok := sm.Get("coflowd_up", "shard", "shard0"); !ok || s.Value != 1 {
+		t.Errorf(`coflowd_up{shard="shard0"} = %+v, %v`, s, ok)
+	}
+
+	// (2) Traces: the gateway ring holds the front-door spans under the trace
+	// id, and exactly one shard holds the joined shard-side spans.
+	var gdump telemetry.TraceDump
+	getJSON(t, fmt.Sprintf("%s/debug/traces?trace=%s", l.URL(), resp.Trace), &gdump)
+	wantGateway := map[string]bool{"admit": false, "batch-flush": false, "placement": false}
+	for _, sp := range gdump.Spans {
+		if _, ok := wantGateway[sp.Name]; ok {
+			wantGateway[sp.Name] = true
+		}
+		if sp.Component != "coflowgate" {
+			t.Errorf("gateway span %s has component %q", sp.Name, sp.Component)
+		}
+	}
+	for name, seen := range wantGateway {
+		if !seen {
+			t.Errorf("gateway trace %s lacks a %s span (got %d spans)", resp.Trace, name, len(gdump.Spans))
+		}
+	}
+	joined := 0
+	for i := 0; i < l.NumShards(); i++ {
+		var sdump telemetry.TraceDump
+		getJSON(t, fmt.Sprintf("%s/debug/traces?trace=%s", l.ShardURL(i), resp.Trace), &sdump)
+		if len(sdump.Spans) == 0 {
+			continue
+		}
+		joined++
+		wantShard := map[string]bool{"shard-admit": false, "completion": false}
+		for _, sp := range sdump.Spans {
+			if _, ok := wantShard[sp.Name]; ok {
+				wantShard[sp.Name] = true
+			}
+			if sp.Component != "coflowd" {
+				t.Errorf("shard span %s has component %q", sp.Name, sp.Component)
+			}
+		}
+		for name, seen := range wantShard {
+			if !seen {
+				t.Errorf("shard %d trace %s lacks a %s span", i, resp.Trace, name)
+			}
+		}
+	}
+	if joined != 1 {
+		t.Errorf("trace %s joined on %d shards, want exactly 1", resp.Trace, joined)
+	}
+
+	// (3) Epochs: the shard ring must hold ticks by now, and the gateway view
+	// must scatter-gather every shard's ring.
+	var shardEpochs struct {
+		Policy  string `json:"policy"`
+		Records []struct {
+			Epoch       int     `json:"epoch"`
+			TickSeconds float64 `json:"tick_seconds"`
+		} `json:"records"`
+	}
+	getJSON(t, l.ShardURL(0)+"/v1/epochs?n=16", &shardEpochs)
+	if shardEpochs.Policy == "" || len(shardEpochs.Records) == 0 {
+		t.Errorf("shard /v1/epochs is empty: %+v", shardEpochs)
+	}
+	var gateEpochs gateEpochsResponse
+	getJSON(t, l.URL()+"/v1/epochs?n=16", &gateEpochs)
+	if len(gateEpochs.Shards) != l.NumShards() {
+		t.Fatalf("gateway /v1/epochs reports %d shards, want %d", len(gateEpochs.Shards), l.NumShards())
+	}
+	for _, sh := range gateEpochs.Shards {
+		if sh.Err != "" {
+			t.Errorf("gateway /v1/epochs shard %s errored: %s", sh.Name, sh.Err)
+		}
+		if len(sh.Records) == 0 {
+			t.Errorf("gateway /v1/epochs shard %s has no records", sh.Name)
+		}
+	}
+}
+
+// firstSample finds any sample of the named family regardless of labels.
+func firstSample(m *telemetry.Metrics, name string) (telemetry.Sample, bool) {
+	for _, s := range m.Samples {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return telemetry.Sample{}, false
+}

@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
+	"coflowsched/internal/telemetry"
 	"coflowsched/internal/workload"
 )
 
@@ -84,6 +86,86 @@ func BenchmarkEngineTick(b *testing.B) {
 			if err := eng.AdvanceTo(now + epoch); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkEngineTickTelemetry is BenchmarkEngineTick plus the per-tick
+// telemetry work coflowd layers on top of the engine: a tick-duration
+// histogram observation, a lifecycle span per admission and completion
+// (trace-id bookkeeping included), and the epoch introspection reads
+// (OrderChurn, ActiveCounts, Epoch, TakeCompleted). The instrumentation
+// budget is its delta over BenchmarkEngineTick — bench_sim.sh records both
+// in BENCH_sim.json, and the ISSUE pins the overhead at <= 2%.
+func BenchmarkEngineTickTelemetry(b *testing.B) {
+	g := graph.FatTree(4, 1)
+	rng := rand.New(rand.NewSource(7))
+	inst, arrivals, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+		Config: workload.Config{NumCoflows: 150, Width: 4, MeanSize: 4, MeanWeight: 1},
+		Rate:   2.0,
+	}, rng)
+	if err != nil {
+		b.Fatalf("generate: %v", err)
+	}
+	order := make([]int, len(arrivals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return arrivals[order[x]] < arrivals[order[y]] })
+	wire := make([]coflow.Coflow, len(order))
+	for i, id := range order {
+		cf := inst.Coflows[id]
+		out := coflow.Coflow{Name: cf.Name, Weight: cf.Weight, Flows: make([]coflow.Flow, len(cf.Flows))}
+		copy(out.Flows, cf.Flows)
+		for j := range out.Flows {
+			out.Flows[j].Release -= arrivals[id]
+			out.Flows[j].Path = nil
+		}
+		wire[i] = out
+	}
+	const epoch = 1.0
+	reg := telemetry.NewRegistry()
+	tickDur := reg.Histogram("bench_tick_duration_seconds", "per-tick wall latency", telemetry.DefTimeBuckets)
+	admitted := reg.Counter("bench_coflows_admitted_total", "admissions")
+	completed := reg.Counter("bench_coflows_completed_total", "completions")
+	tracer := telemetry.NewTracer("bench", "", 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(g, SEBFOnline{}, Config{EpochLength: epoch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		traceIDs := make(map[int]string)
+		next := 0
+		for now := 0.0; !eng.Done() || next < len(order); now += epoch {
+			t0 := time.Now()
+			for next < len(order) && arrivals[order[next]] <= now+epoch {
+				id, err := eng.Admit(wire[next], arrivals[order[next]])
+				if err != nil {
+					b.Fatal(err)
+				}
+				trace := telemetry.NewTraceID()
+				traceIDs[id] = trace
+				tracer.Record(telemetry.Span{Trace: trace, Name: "shard-admit", Coflow: id, Wall: t0})
+				admitted.Inc()
+				next++
+			}
+			if err := eng.DecideSync(); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.AdvanceTo(now + epoch); err != nil {
+				b.Fatal(err)
+			}
+			for _, id := range eng.TakeCompleted() {
+				tracer.Record(telemetry.Span{Trace: traceIDs[id], Name: "completion", Coflow: id, Wall: t0})
+				delete(traceIDs, id)
+				completed.Inc()
+			}
+			_ = eng.OrderChurn()
+			_, _ = eng.ActiveCounts()
+			_ = eng.Epoch()
+			tickDur.Observe(time.Since(t0).Seconds())
 		}
 	}
 }

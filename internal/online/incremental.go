@@ -61,6 +61,12 @@ type Engine struct {
 	now       float64
 	epoch     int
 	order     []coflow.FlowRef
+	// lastChurn is the order-churn fraction of the most recent ApplyOrder.
+	lastChurn float64
+	// recentDone logs coflow ids completed since the last TakeCompleted call
+	// — the hook lifecycle tracing uses to emit completion spans without
+	// rescanning engine state.
+	recentDone []int
 
 	// Aggregates surfaced by Stats.
 	completedCoflows int
@@ -359,10 +365,65 @@ func (e *Engine) ApplyOrder(order []coflow.FlowRef, solveLatency time.Duration) 
 	if err := e.sim.SetOrder(live); err != nil {
 		return err
 	}
+	e.lastChurn = orderChurn(e.order, live)
 	e.order = append(e.order[:0], live...)
 	e.decisions++
 	e.solveLatencies.add(solveLatency.Seconds())
 	return nil
+}
+
+// orderChurn measures how much a new priority order disagrees with the one
+// it replaces: the fraction of refs in the larger order whose rank changed
+// (including refs present in only one of the two). 0 means the decision
+// re-confirmed the standing order; 1 means nothing kept its place.
+func orderChurn(old, new []coflow.FlowRef) float64 {
+	denom := len(old)
+	if len(new) > denom {
+		denom = len(new)
+	}
+	if denom == 0 {
+		return 0
+	}
+	oldRank := make(map[coflow.FlowRef]int, len(old))
+	for i, r := range old {
+		oldRank[r] = i
+	}
+	changed := len(old) - len(new) // refs dropped entirely, when old is longer
+	if changed < 0 {
+		changed = 0
+	}
+	for i, r := range new {
+		if rank, ok := oldRank[r]; !ok || rank != i {
+			changed++
+		}
+	}
+	return float64(changed) / float64(denom)
+}
+
+// OrderChurn reports the churn fraction of the most recently applied order
+// (see orderChurn). Scheduler-introspection surface for /v1/epochs.
+func (e *Engine) OrderChurn() float64 { return e.lastChurn }
+
+// Epoch returns the engine's epoch counter (AdvanceTo calls so far).
+func (e *Engine) Epoch() int { return e.epoch }
+
+// ActiveCounts reports the active coflow and flow counts without copying the
+// stats reservoirs — cheap enough to call every tick.
+func (e *Engine) ActiveCounts() (coflows, flows int) {
+	return len(e.inst.Coflows) - e.completedCoflows, e.totalFlows - e.doneFlows
+}
+
+// TakeCompleted returns the ids of coflows whose completion was recorded
+// since the last call, in completion order, and resets the log. The server
+// consumes this every tick to close out lifecycle traces; callers that never
+// call it pay one int of growth per completed coflow.
+func (e *Engine) TakeCompleted() []int {
+	if len(e.recentDone) == 0 {
+		return nil
+	}
+	out := e.recentDone
+	e.recentDone = nil
+	return out
 }
 
 // Order returns the currently applied priority order, restricted to flows
@@ -430,6 +491,7 @@ func (e *Engine) collectCompletions() {
 			// a completed coflow is done by construction.
 			_ = e.sim.Forget(coflow.FlowRef{Coflow: id, Index: j})
 		}
+		e.recentDone = append(e.recentDone, id)
 		closed = true
 	}
 	if closed {

@@ -306,3 +306,101 @@ func TestEngineDrain(t *testing.T) {
 		t.Errorf("status for unknown coflow id")
 	}
 }
+
+// TestOrderChurn pins the churn metric the /v1/epochs introspection surface
+// reports: fraction of refs in the larger order whose rank changed.
+func TestOrderChurn(t *testing.T) {
+	r := func(c int) coflow.FlowRef { return coflow.FlowRef{Coflow: c} }
+	cases := []struct {
+		name     string
+		old, new []coflow.FlowRef
+		want     float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"reconfirmed", []coflow.FlowRef{r(0), r(1)}, []coflow.FlowRef{r(0), r(1)}, 0},
+		{"swap", []coflow.FlowRef{r(0), r(1)}, []coflow.FlowRef{r(1), r(0)}, 1},
+		{"from empty", nil, []coflow.FlowRef{r(0), r(1)}, 1},
+		{"all dropped", []coflow.FlowRef{r(0), r(1)}, nil, 1},
+		{"tail shift", []coflow.FlowRef{r(0), r(1), r(2), r(3)}, []coflow.FlowRef{r(0), r(1), r(3), r(2)}, 0.5},
+		{"head drop", []coflow.FlowRef{r(0), r(1), r(2), r(3)}, []coflow.FlowRef{r(1), r(2), r(3)}, 1},
+	}
+	for _, tc := range cases {
+		if got := orderChurn(tc.old, tc.new); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: orderChurn = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestEngineIntrospection covers the accessors the daemon's epoch ring is
+// built from: Epoch, ActiveCounts, OrderChurn and TakeCompleted across a
+// short admit/decide/advance lifetime.
+func TestEngineIntrospection(t *testing.T) {
+	inst, arrivals := engineWorkload(t, 11, 3)
+	eng, err := NewEngine(inst.Network, SEBFOnline{}, Config{EpochLength: 1})
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+
+	if e := eng.Epoch(); e != 0 {
+		t.Errorf("fresh engine Epoch = %d, want 0", e)
+	}
+	if c, f := eng.ActiveCounts(); c != 0 || f != 0 {
+		t.Errorf("fresh engine ActiveCounts = %d, %d, want 0, 0", c, f)
+	}
+	if done := eng.TakeCompleted(); done != nil {
+		t.Errorf("fresh engine TakeCompleted = %v, want nil", done)
+	}
+	if ch := eng.OrderChurn(); ch != 0 {
+		t.Errorf("fresh engine OrderChurn = %v, want 0", ch)
+	}
+
+	wantFlows := 0
+	for i := range inst.Coflows {
+		if _, err := eng.Admit(relativeCoflow(inst.Coflows[i], arrivals[i]), 0); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		wantFlows += len(inst.Coflows[i].Flows)
+	}
+	if c, f := eng.ActiveCounts(); c != len(inst.Coflows) || f != wantFlows {
+		t.Errorf("ActiveCounts after admits = %d, %d, want %d, %d", c, f, len(inst.Coflows), wantFlows)
+	}
+
+	// The first decision replaces the empty standing order wholesale.
+	if err := eng.DecideSync(); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if ch := eng.OrderChurn(); ch != 1 {
+		t.Errorf("OrderChurn after first decision = %v, want 1", ch)
+	}
+
+	// Run to completion, one epoch at a time; every coflow id must be
+	// surfaced by TakeCompleted exactly once.
+	seen := map[int]int{}
+	now := 0.0
+	for i := 0; !eng.Done() && i < 10000; i++ {
+		now += 1
+		if err := eng.AdvanceTo(now); err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+		if e := eng.Epoch(); e != i+1 {
+			t.Errorf("Epoch after %d advances = %d", i+1, e)
+		}
+		for _, id := range eng.TakeCompleted() {
+			seen[id]++
+		}
+	}
+	if !eng.Done() {
+		t.Fatal("engine never drained")
+	}
+	for i := range inst.Coflows {
+		if seen[i] != 1 {
+			t.Errorf("coflow %d surfaced %d times by TakeCompleted, want 1", i, seen[i])
+		}
+	}
+	if c, f := eng.ActiveCounts(); c != 0 || f != 0 {
+		t.Errorf("drained ActiveCounts = %d, %d, want 0, 0", c, f)
+	}
+	if done := eng.TakeCompleted(); done != nil {
+		t.Errorf("second TakeCompleted = %v, want nil (log resets)", done)
+	}
+}

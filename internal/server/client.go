@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
 	"coflowsched/internal/stats"
+	"coflowsched/internal/telemetry"
 	"coflowsched/internal/workload"
 )
 
@@ -39,6 +41,13 @@ type Client struct {
 	// value so synchronized clients do not stampede a recovering backend.
 	// Default 50ms.
 	RetryBase time.Duration
+	// RetryCounter, when non-nil, counts retried attempts labeled by API
+	// endpoint ("admit", "stats", ...). The gateway wires its registry's
+	// coflowgate_client_retries_total vec here so backend flakiness is
+	// visible at /metrics before it becomes an ejection.
+	RetryCounter *telemetry.CounterVec
+	// Logger, when non-nil, receives a debug line per retried attempt.
+	Logger *slog.Logger
 }
 
 // ClientOption customizes NewClient.
@@ -59,6 +68,16 @@ func WithRetries(n int, base time.Duration) ClientOption {
 		if base > 0 {
 			c.RetryBase = base
 		}
+	}
+}
+
+// WithInstrumentation attaches retry accounting: each retried attempt bumps
+// retries with the endpoint label and logs one debug line on logger. Either
+// argument may be nil.
+func WithInstrumentation(retries *telemetry.CounterVec, logger *slog.Logger) ClientOption {
+	return func(c *Client) {
+		c.RetryCounter = retries
+		c.Logger = logger
 	}
 }
 
@@ -88,9 +107,10 @@ func retryableStatus(code int) bool {
 	return false
 }
 
-// doJSON performs one API call with the retry policy applied. body may be nil
-// for GETs; it is re-sent from scratch on every attempt.
-func (c *Client) doJSON(method, path string, body []byte, out any) error {
+// doJSON performs one API call with the retry policy applied. endpoint is the
+// short API name retry accounting is labeled with; header entries (trace
+// propagation) are re-sent on every attempt, as is the body.
+func (c *Client) doJSON(method, path, endpoint string, header map[string]string, body []byte, out any) error {
 	attempts := c.Retries + 1
 	if attempts < 1 {
 		attempts = 1
@@ -98,6 +118,7 @@ func (c *Client) doJSON(method, path string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			c.countRetry(endpoint, attempt, lastErr)
 			// Exponential backoff with half-to-full jitter.
 			nominal := c.RetryBase << (attempt - 1)
 			if nominal <= 0 {
@@ -116,6 +137,9 @@ func (c *Client) doJSON(method, path string, body []byte, out any) error {
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		for k, v := range header {
+			req.Header.Set(k, v)
+		}
 		resp, err := c.HTTPClient.Do(req)
 		if err != nil {
 			lastErr = err // transport failure (refused, reset, timeout): retry
@@ -132,38 +156,60 @@ func (c *Client) doJSON(method, path string, body []byte, out any) error {
 	return fmt.Errorf("server: %d attempts failed: %w", attempts, lastErr)
 }
 
-func (c *Client) get(path string, out any) error {
-	return c.doJSON(http.MethodGet, path, nil, out)
+// countRetry records one retried attempt in the configured instrumentation.
+func (c *Client) countRetry(endpoint string, attempt int, cause error) {
+	if c.RetryCounter != nil {
+		c.RetryCounter.With(endpoint).Inc()
+	}
+	if c.Logger != nil {
+		c.Logger.Debug("retrying request", "component", "client",
+			"endpoint", endpoint, "base_url", c.BaseURL, "attempt", attempt, "cause", cause)
+	}
+}
+
+func (c *Client) get(path, endpoint string, out any) error {
+	return c.doJSON(http.MethodGet, path, endpoint, nil, nil, out)
 }
 
 // Admit posts one coflow; flow Release fields are offsets from admission.
 // Under the retry policy admission is at-least-once: if a response is lost in
 // transit the retried request can create a second copy on the server.
 func (c *Client) Admit(cf coflow.Coflow) (AdmitResponse, error) {
+	return c.AdmitTraced(cf, "")
+}
+
+// AdmitTraced posts one coflow carrying a lifecycle trace id in the
+// X-Coflow-Trace header, so the admitting daemon's spans join the caller's.
+// An empty trace behaves like Admit (the daemon mints its own id).
+func (c *Client) AdmitTraced(cf coflow.Coflow, trace string) (AdmitResponse, error) {
 	body, err := json.Marshal(cf)
 	if err != nil {
 		return AdmitResponse{}, err
 	}
+	var header map[string]string
+	if trace != "" {
+		header = map[string]string{telemetry.TraceHeader: trace}
+	}
 	var out AdmitResponse
-	return out, c.doJSON(http.MethodPost, "/v1/coflows", body, &out)
+	return out, c.doJSON(http.MethodPost, "/v1/coflows", "admit", header, body, &out)
 }
 
 // Coflow fetches one coflow's status.
 func (c *Client) Coflow(id int) (CoflowResponse, error) {
 	var out CoflowResponse
-	return out, c.get(fmt.Sprintf("/v1/coflows/%d", id), &out)
+	return out, c.get(fmt.Sprintf("/v1/coflows/%d", id), "coflow", &out)
 }
 
 // Schedule fetches the current residual priority order.
 func (c *Client) Schedule() (ScheduleResponse, error) {
 	var out ScheduleResponse
-	return out, c.get("/v1/schedule", &out)
+	return out, c.get("/v1/schedule", "schedule", &out)
 }
 
 // Stats fetches the aggregate statistics.
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse
-	return out, c.get("/v1/stats", &out)
+	return out, c.get("/v1/stats", "stats", &out)
 }
 
 // StatsSamples fetches the aggregate statistics together with the raw
@@ -171,19 +217,30 @@ func (c *Client) Stats() (StatsResponse, error) {
 // compute merged tails.
 func (c *Client) StatsSamples() (StatsResponse, error) {
 	var out StatsResponse
-	return out, c.get("/v1/stats?samples=1", &out)
+	return out, c.get("/v1/stats?samples=1", "stats", &out)
 }
 
 // Health fetches the health summary.
 func (c *Client) Health() (HealthResponse, error) {
 	var out HealthResponse
-	return out, c.get("/healthz", &out)
+	return out, c.get("/healthz", "health", &out)
 }
 
 // Network fetches the topology summary the generator builds coflows from.
 func (c *Client) Network() (NetworkResponse, error) {
 	var out NetworkResponse
-	return out, c.get("/v1/network", &out)
+	return out, c.get("/v1/network", "network", &out)
+}
+
+// Epochs fetches the daemon's recent-epoch introspection ring; n > 0 limits
+// to the most recent n records.
+func (c *Client) Epochs(n int) (EpochsResponse, error) {
+	path := "/v1/epochs"
+	if n > 0 {
+		path = fmt.Sprintf("/v1/epochs?n=%d", n)
+	}
+	var out EpochsResponse
+	return out, c.get(path, "epochs", &out)
 }
 
 // APIError is a non-2xx response decoded into an error. Callers that need to
@@ -295,21 +352,40 @@ func (cfg LoadConfig) withDefaults() LoadConfig {
 }
 
 // LoadReport summarizes a replay: request outcome counts, achieved
-// throughput, and admit-request latency percentiles.
+// throughput, and admit-request latency percentiles. The JSON shape is
+// coflowload's -json output — machine-readable for scripted comparisons
+// (durations in seconds).
 type LoadReport struct {
-	Requests    int
-	Failures    int
-	Duration    time.Duration
-	AchievedRPS float64
+	Requests    int           `json:"requests"`
+	Failures    int           `json:"failures"`
+	Duration    time.Duration `json:"-"`
+	AchievedRPS float64       `json:"achieved_rps"`
 	// LatencyP50/P95/P99 are admit request latencies.
-	LatencyP50 time.Duration
-	LatencyP95 time.Duration
-	LatencyP99 time.Duration
+	LatencyP50 time.Duration `json:"-"`
+	LatencyP95 time.Duration `json:"-"`
+	LatencyP99 time.Duration `json:"-"`
 	// Completed counts coflows confirmed finished (only populated with
 	// WaitComplete).
-	Completed int
+	Completed int `json:"completed,omitempty"`
 	// FirstError carries the first failure's message, for diagnostics.
-	FirstError string
+	FirstError string `json:"first_error,omitempty"`
+	// DurationSeconds and the latency seconds mirror the Duration fields in
+	// JSON-friendly units; populated by MarshalJSON.
+	DurationSeconds float64 `json:"duration_seconds"`
+	LatencyP50Secs  float64 `json:"admit_latency_p50_seconds"`
+	LatencyP95Secs  float64 `json:"admit_latency_p95_seconds"`
+	LatencyP99Secs  float64 `json:"admit_latency_p99_seconds"`
+}
+
+// MarshalJSON renders the report with durations in seconds.
+func (r *LoadReport) MarshalJSON() ([]byte, error) {
+	type alias LoadReport // strip the method to avoid recursion
+	a := alias(*r)
+	a.DurationSeconds = r.Duration.Seconds()
+	a.LatencyP50Secs = r.LatencyP50.Seconds()
+	a.LatencyP95Secs = r.LatencyP95.Seconds()
+	a.LatencyP99Secs = r.LatencyP99.Seconds()
+	return json.Marshal(a)
 }
 
 // String renders the report for terminals.

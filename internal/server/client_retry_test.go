@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"coflowsched/internal/telemetry"
 )
 
 // flakyHandler fails the first n requests with the given status (0 = drop the
@@ -133,5 +137,31 @@ func TestClientTimeout(t *testing.T) {
 	}
 	if elapsed > 2*time.Second {
 		t.Errorf("request took %v, want prompt timeout", elapsed)
+	}
+}
+
+// TestClientRetryInstrumentation: with WithInstrumentation wired, every
+// retry bumps the per-endpoint counter and emits a debug log line — the
+// visibility the gateway uses to spot a flapping backend before the health
+// prober trips.
+func TestClientRetryInstrumentation(t *testing.T) {
+	h := &flakyHandler{n: 2, status: http.StatusServiceUnavailable, ok: okJSON(`{"status":"ok"}`)}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	reg := telemetry.NewRegistry()
+	retries := reg.CounterVec("test_client_retries_total", "retries", "endpoint")
+	var logBuf bytes.Buffer
+	logger := telemetry.NewLogger(&logBuf, slog.LevelDebug, "text", "test", "")
+
+	c := NewClient(ts.URL, WithRetries(3, time.Millisecond), WithInstrumentation(retries, logger))
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("health after transient failures: %v", err)
+	}
+	if got := retries.With("health").Value(); got != 2 {
+		t.Errorf("retry counter = %v, want 2", got)
+	}
+	if logs := logBuf.String(); strings.Count(logs, "retrying request") != 2 || !strings.Contains(logs, "endpoint=health") {
+		t.Errorf("retry debug logs missing or wrong:\n%s", logs)
 	}
 }

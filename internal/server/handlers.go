@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/online"
 	"coflowsched/internal/stats"
+	"coflowsched/internal/telemetry"
 )
 
 // Wire types. POST /v1/coflows takes a coflow.Coflow JSON object directly
@@ -23,6 +26,10 @@ type AdmitResponse struct {
 	Name string `json:"name,omitempty"`
 	// Arrival is the simulated admission time assigned by the server.
 	Arrival float64 `json:"arrival"`
+	// Trace is the coflow's lifecycle trace id: the X-Coflow-Trace request
+	// header when the caller (a gateway) sent one, otherwise minted here.
+	// Spans under this id appear at /debug/traces.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CoflowResponse is GET /v1/coflows/{id}: live status, CCT once done.
@@ -117,9 +124,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/network", s.handleNetwork)
+	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/traces", s.tracer.Handler())
+	RegisterPprof(mux)
 	return s.countRequests(mux)
+}
+
+// RegisterPprof mounts the net/http/pprof profiling endpoints on a non-default
+// mux. Shared with the cluster gateway so both daemons profile identically.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // MaxBodyBytes bounds POST bodies; the largest legitimate coflows are a few
@@ -135,6 +155,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		RespondError(w, http.StatusBadRequest, "decoding coflow: "+err.Error())
 		return
 	}
+	// The gateway propagates its trace id in the header; a standalone daemon
+	// mints one so single-shard deployments still get lifecycle traces.
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+	}
+	t0 := time.Now()
 	var resp AdmitResponse
 	var admitErr error
 	err := s.do(func() {
@@ -148,8 +175,20 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			admitErr = err
 			return
 		}
-		resp = AdmitResponse{ID: id, Name: cf.Name, Arrival: now}
+		s.traceIDs[id] = trace
+		resp = AdmitResponse{ID: id, Name: cf.Name, Arrival: now, Trace: trace}
 	})
+	if err == nil && admitErr == nil {
+		s.tracer.Record(telemetry.Span{
+			Name:     "shard-admit",
+			Trace:    trace,
+			Coflow:   resp.ID,
+			Duration: time.Since(t0).Seconds(),
+			Attrs:    map[string]string{"flows": strconv.Itoa(len(cf.Flows))},
+		})
+		s.logger.Debug("coflow admitted", "component", "coflowd",
+			"coflow", resp.ID, "name", cf.Name, "flows", len(cf.Flows), "trace", trace)
+	}
 	switch {
 	case err != nil:
 		RespondError(w, http.StatusServiceUnavailable, err.Error())

@@ -1,17 +1,105 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
-	"sync/atomic"
+
+	"coflowsched/internal/online"
+	"coflowsched/internal/telemetry"
 )
 
-// metrics holds the request-level counters the scheduler goroutine never
-// sees; they are updated from handler goroutines with atomics.
-type metrics struct {
-	requests      atomic.Int64
-	requestErrors atomic.Int64
+// serverMetrics is coflowd's registry surface: every series /metrics serves.
+// Request counters and the tick histogram are instrumented live; the engine
+// gauges are refreshed at scrape time from one scheduler round trip (see
+// handleMetrics). Metric names are part of the scrape contract — the
+// conformance test in internal/telemetry pins them.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	up               *telemetry.Gauge
+	simNow           *telemetry.Gauge
+	epochs           *telemetry.Counter
+	decisions        *telemetry.Counter
+	admitted         *telemetry.Counter
+	completed        *telemetry.Counter
+	coflowsActive    *telemetry.Gauge
+	flowsActive      *telemetry.Gauge
+	weightedCCT      *telemetry.Gauge
+	weightedResponse *telemetry.Gauge
+	slowdownP50      *telemetry.Gauge
+	slowdownP95      *telemetry.Gauge
+	slowdownP99      *telemetry.Gauge
+	solveP50         *telemetry.Gauge
+	solveP95         *telemetry.Gauge
+	solveP99         *telemetry.Gauge
+	tickP50          *telemetry.Gauge
+	tickP95          *telemetry.Gauge
+	tickP99          *telemetry.Gauge
+	requests         *telemetry.Counter
+	requestErrors    *telemetry.Counter
+	tickDuration     *telemetry.Histogram
+	traceSpans       *telemetry.Counter
+}
+
+// newServerMetrics registers coflowd's metric families. A non-empty shard
+// identity becomes a constant {shard="..."} label on every series, so a
+// gateway scraping N backends can tell their time series apart.
+func newServerMetrics(shard string) *serverMetrics {
+	var consts []telemetry.Label
+	if shard != "" {
+		consts = append(consts, telemetry.Label{Name: "shard", Value: shard})
+	}
+	reg := telemetry.NewRegistry(consts...)
+	m := &serverMetrics{
+		reg:              reg,
+		up:               reg.Gauge("coflowd_up", "1 while the daemon serves"),
+		simNow:           reg.Gauge("coflowd_sim_now", "engine clock in simulated time units"),
+		epochs:           reg.Counter("coflowd_epochs_total", "engine advances (epoch ticks)"),
+		decisions:        reg.Counter("coflowd_decisions_total", "applied policy decisions"),
+		admitted:         reg.Counter("coflowd_coflows_admitted_total", "coflows admitted"),
+		completed:        reg.Counter("coflowd_coflows_completed_total", "coflows completed"),
+		coflowsActive:    reg.Gauge("coflowd_coflows_active", "admitted, unfinished coflows"),
+		flowsActive:      reg.Gauge("coflowd_flows_active", "admitted, unfinished flows"),
+		weightedCCT:      reg.Gauge("coflowd_weighted_cct", "sum of weight * completion time over completed coflows"),
+		weightedResponse: reg.Gauge("coflowd_weighted_response", "sum of weight * response time over completed coflows"),
+		slowdownP50:      reg.Gauge("coflowd_slowdown_p50", "median completed-coflow slowdown (recent window)"),
+		slowdownP95:      reg.Gauge("coflowd_slowdown_p95", "p95 completed-coflow slowdown (recent window)"),
+		slowdownP99:      reg.Gauge("coflowd_slowdown_p99", "p99 completed-coflow slowdown (recent window)"),
+		solveP50:         reg.Gauge("coflowd_solve_latency_seconds_p50", "median policy decide latency (recent window)"),
+		solveP95:         reg.Gauge("coflowd_solve_latency_seconds_p95", "p95 policy decide latency (recent window)"),
+		solveP99:         reg.Gauge("coflowd_solve_latency_seconds_p99", "p99 policy decide latency (recent window)"),
+		tickP50:          reg.Gauge("coflowd_tick_seconds_p50", "median scheduler tick duration (recent window)"),
+		tickP95:          reg.Gauge("coflowd_tick_seconds_p95", "p95 scheduler tick duration (recent window)"),
+		tickP99:          reg.Gauge("coflowd_tick_seconds_p99", "p99 scheduler tick duration (recent window)"),
+		requests:         reg.Counter("coflowd_http_requests_total", "HTTP requests served"),
+		requestErrors:    reg.Counter("coflowd_http_request_errors_total", "HTTP requests answered with a 4xx/5xx status"),
+		tickDuration:     reg.Histogram("coflowd_tick_duration_seconds", "scheduler tick duration distribution", nil),
+		traceSpans:       reg.Counter("coflowd_trace_spans_total", "lifecycle trace spans recorded"),
+	}
+	m.up.Set(1)
+	return m
+}
+
+// updateFromEngine refreshes the scrape-time mirrors of the engine's
+// aggregate state.
+func (m *serverMetrics) updateFromEngine(st online.EngineStats, ticks []float64) {
+	m.simNow.Set(st.Now)
+	m.epochs.Set(float64(st.Epochs))
+	m.decisions.Set(float64(st.Decisions))
+	m.admitted.Set(float64(st.Admitted))
+	m.completed.Set(float64(st.Completed))
+	m.coflowsActive.Set(float64(st.Active))
+	m.flowsActive.Set(float64(st.ActiveFlows))
+	m.weightedCCT.Set(st.WeightedCCT)
+	m.weightedResponse.Set(st.WeightedResponse)
+	m.slowdownP50.Set(pct(st.Slowdowns, 50))
+	m.slowdownP95.Set(pct(st.Slowdowns, 95))
+	m.slowdownP99.Set(pct(st.Slowdowns, 99))
+	m.solveP50.Set(pct(st.SolveLatencies, 50))
+	m.solveP95.Set(pct(st.SolveLatencies, 95))
+	m.solveP99.Set(pct(st.SolveLatencies, 99))
+	m.tickP50.Set(pct(ticks, 50))
+	m.tickP95.Set(pct(ticks, 95))
+	m.tickP99.Set(pct(ticks, 99))
 }
 
 // StatusRecorder captures the response code written by a handler. Exported
@@ -31,54 +119,25 @@ func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &StatusRecorder{ResponseWriter: w, Code: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		s.metrics.requests.Add(1)
+		s.metrics.requests.Inc()
 		if rec.Code >= 400 {
-			s.metrics.requestErrors.Add(1)
+			s.metrics.requestErrors.Inc()
 		}
 	})
 }
 
-// handleMetrics serves the Prometheus-style text exposition: one
-// `coflowd_*` gauge or counter per line. Only stdlib formatting — the repo
-// takes no dependencies — but the format is scrapeable.
+// handleMetrics serves the Prometheus text exposition from the shared
+// telemetry registry: engine gauges are refreshed from one scheduler round
+// trip, then the registry renders every family (HELP/TYPE headers, shard
+// labels, histogram buckets) through the one code path coflowgate uses too.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st, ticks, err := s.metricsSnapshot()
 	if err != nil {
 		RespondError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	var b strings.Builder
-	// With a shard identity configured, every series carries it as a label so
-	// a gateway scraping N backends can tell their time series apart.
-	labels := ""
-	if s.cfg.Shard != "" {
-		labels = fmt.Sprintf(`{shard=%q}`, s.cfg.Shard)
-	}
-	line := func(name string, v float64) {
-		fmt.Fprintf(&b, "%s%s %g\n", name, labels, v)
-	}
-	line("coflowd_up", 1)
-	line("coflowd_sim_now", st.Now)
-	line("coflowd_epochs_total", float64(st.Epochs))
-	line("coflowd_decisions_total", float64(st.Decisions))
-	line("coflowd_coflows_admitted_total", float64(st.Admitted))
-	line("coflowd_coflows_completed_total", float64(st.Completed))
-	line("coflowd_coflows_active", float64(st.Active))
-	line("coflowd_flows_active", float64(st.ActiveFlows))
-	line("coflowd_weighted_cct", st.WeightedCCT)
-	line("coflowd_weighted_response", st.WeightedResponse)
-	line("coflowd_slowdown_p50", pct(st.Slowdowns, 50))
-	line("coflowd_slowdown_p95", pct(st.Slowdowns, 95))
-	line("coflowd_slowdown_p99", pct(st.Slowdowns, 99))
-	line("coflowd_solve_latency_seconds_p50", pct(st.SolveLatencies, 50))
-	line("coflowd_solve_latency_seconds_p95", pct(st.SolveLatencies, 95))
-	line("coflowd_solve_latency_seconds_p99", pct(st.SolveLatencies, 99))
-	line("coflowd_tick_seconds_p50", pct(ticks, 50))
-	line("coflowd_tick_seconds_p95", pct(ticks, 95))
-	line("coflowd_tick_seconds_p99", pct(ticks, 99))
-	line("coflowd_http_requests_total", float64(s.metrics.requests.Load()))
-	line("coflowd_http_request_errors_total", float64(s.metrics.requestErrors.Load()))
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
+	s.metrics.updateFromEngine(st, ticks)
+	spans, _ := s.tracer.Totals()
+	s.metrics.traceSpans.Set(float64(spans))
+	s.metrics.reg.Handler().ServeHTTP(w, r)
 }

@@ -10,6 +10,7 @@ import (
 
 	"coflowsched/internal/graph"
 	"coflowsched/internal/online"
+	"coflowsched/internal/telemetry"
 )
 
 // TestMetricsShardLabel: with a shard identity configured, every /metrics
@@ -46,9 +47,13 @@ func TestMetricsShardLabel(t *testing.T) {
 	if !strings.Contains(text, `coflowd_up{shard="shard-a"} 1`) {
 		t.Errorf("metrics missing labelled up line:\n%s", text)
 	}
-	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
-		if !strings.Contains(line, `{shard="shard-a"}`) {
-			t.Errorf("metrics line lacks the shard label: %q", line)
+	parsed, err := telemetry.ParseMetrics(text)
+	if err != nil {
+		t.Fatalf("parse metrics: %v", err)
+	}
+	for _, sm := range parsed.Samples {
+		if sm.Labels["shard"] != "shard-a" {
+			t.Errorf("series %s%v lacks the shard label", sm.Name, sm.Labels)
 		}
 	}
 

@@ -23,11 +23,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
 	"coflowsched/internal/graph"
 	"coflowsched/internal/online"
+	"coflowsched/internal/telemetry"
 )
 
 // Config parameterizes the daemon.
@@ -50,9 +53,17 @@ type Config struct {
 	// cluster: every /metrics line gains a {shard="..."} label so metrics
 	// scraped from several backends by one gateway stay distinguishable.
 	Shard string
-	// Logf, when non-nil, receives operational log lines (solver failures,
-	// drain progress). Defaults to discarding them.
+	// Logger receives structured operational logs (solver failures, drain
+	// progress, admissions at debug level) with component/shard fields
+	// attached. When nil, Logf is bridged through a line-formatting handler;
+	// when that is nil too, logs are discarded.
+	Logger *slog.Logger
+	// Logf is the legacy printf-style sink, still honored for compatibility
+	// (tests pass t.Logf here). Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// TraceCapacity bounds the lifecycle-trace span ring served at
+	// /debug/traces (default telemetry.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -75,8 +86,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.TimeScale == 0 {
 		c.TimeScale = 1
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = telemetry.LogfLogger(c.Logf) // nil Logf discards
+	}
+	if c.Shard != "" {
+		c.Logger = c.Logger.With("shard", c.Shard)
 	}
 	return c, nil
 }
@@ -101,7 +115,9 @@ type Server struct {
 	stopped   chan struct{}
 	closeOnce sync.Once
 	start     time.Time
-	metrics   metrics
+	metrics   *serverMetrics
+	tracer    *telemetry.Tracer
+	logger    *slog.Logger
 
 	// Owned by the scheduler goroutine.
 	solving  bool
@@ -111,15 +127,29 @@ type Server struct {
 	// percentiles.
 	tickDurs []float64
 	tickNext int
+	// traceIDs maps admitted coflow ids to their lifecycle trace ids so the
+	// completion span can be emitted when the coflow finishes.
+	traceIDs map[int]string
+	// epochRing retains the most recent scheduler ticks for /v1/epochs;
+	// lastDecide stages the async decision applied since the previous tick
+	// so the next record carries its latency and churn.
+	epochRing  []EpochRecord
+	epochNext  int
+	lastDecide struct {
+		applied bool
+		latency time.Duration
+		churn   float64
+	}
 }
 
 // tickWindow bounds the per-tick timing reservoir: percentiles reflect the
 // most recent window, not the daemon's whole lifetime.
 const tickWindow = 2048
 
-// recordTick stores one tick's simulation-advance duration. Scheduler
-// goroutine only.
+// recordTick stores one tick's simulation-advance duration in the percentile
+// reservoir and the exposition histogram. Scheduler goroutine only.
 func (s *Server) recordTick(d time.Duration) {
+	s.metrics.tickDuration.Observe(d.Seconds())
 	if len(s.tickDurs) < tickWindow {
 		s.tickDurs = append(s.tickDurs, d.Seconds())
 		return
@@ -143,16 +173,24 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		eng:     eng,
-		cmds:    make(chan func()),
-		quit:    make(chan struct{}),
-		stopped: make(chan struct{}),
-		start:   time.Now(),
+		cfg:      cfg,
+		eng:      eng,
+		cmds:     make(chan func()),
+		quit:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+		start:    time.Now(),
+		metrics:  newServerMetrics(cfg.Shard),
+		tracer:   telemetry.NewTracer("coflowd", cfg.Shard, cfg.TraceCapacity),
+		logger:   cfg.Logger,
+		traceIDs: make(map[int]string),
 	}
 	go s.loop()
 	return s, nil
 }
+
+// Tracer exposes the daemon's lifecycle-span ring (tests join it against a
+// gateway's).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // simNow maps the wall clock onto the simulation clock.
 func (s *Server) simNow() float64 {
@@ -186,16 +224,55 @@ func (s *Server) loop() {
 	}
 }
 
-// tick advances the engine to the current simulated time and, if no solve is
-// in flight, kicks off the next asynchronous policy decision.
+// tick advances the engine to the current simulated time, records the epoch
+// into the introspection ring, closes out lifecycle traces for coflows that
+// completed, and — if no solve is in flight — kicks off the next asynchronous
+// policy decision.
 func (s *Server) tick() {
 	t0 := time.Now()
 	err := s.eng.AdvanceTo(s.simNow())
-	s.recordTick(time.Since(t0))
+	tickDur := time.Since(t0)
+	s.recordTick(tickDur)
 	if err != nil {
-		s.cfg.Logf("coflowd: advance: %v", err)
+		s.logger.Error("advance failed", "component", "coflowd", "err", err)
 		return
 	}
+	done := s.eng.TakeCompleted()
+	for _, id := range done {
+		span := telemetry.Span{Name: "completion", Trace: s.traceIDs[id], Coflow: id}
+		if st, ok := s.eng.CoflowStatus(id); ok {
+			span.Attrs = map[string]string{
+				"cct":      strconv.FormatFloat(st.Response, 'g', -1, 64),
+				"slowdown": strconv.FormatFloat(st.Slowdown, 'g', -1, 64),
+			}
+			span.Duration = st.Response / s.cfg.TimeScale // lifecycle span in wall seconds
+		}
+		s.tracer.Record(span)
+		delete(s.traceIDs, id)
+		s.logger.Debug("coflow completed", "component", "coflowd", "coflow", id, "trace", span.Trace)
+	}
+	activeCoflows, activeFlows := s.eng.ActiveCounts()
+	rec := EpochRecord{
+		Epoch:         s.eng.Epoch(),
+		SimNow:        s.eng.Now(),
+		Wall:          t0,
+		TickSeconds:   tickDur.Seconds(),
+		ActiveCoflows: activeCoflows,
+		ActiveFlows:   activeFlows,
+		Completed:     len(done),
+	}
+	if s.lastDecide.applied {
+		rec.Decided = true
+		rec.DecideSeconds = s.lastDecide.latency.Seconds()
+		rec.OrderChurn = s.lastDecide.churn
+		rec.Preempted = int(s.lastDecide.churn * float64(activeFlows))
+		s.lastDecide = struct {
+			applied bool
+			latency time.Duration
+			churn   float64
+		}{}
+	}
+	s.pushEpoch(rec)
 	if s.solving || s.draining {
 		return
 	}
@@ -212,12 +289,31 @@ func (s *Server) tick() {
 		s.do(func() {
 			s.solving = false
 			if err != nil {
-				s.cfg.Logf("coflowd: %s decide (epoch %d): %v", policy.Name(), snap.Epoch, err)
+				s.logger.Error("policy decide failed", "component", "coflowd",
+					"policy", policy.Name(), "epoch", snap.Epoch, "err", err)
 				return
 			}
 			if err := s.eng.ApplyOrder(order, latency); err != nil {
-				s.cfg.Logf("coflowd: apply order: %v", err)
+				s.logger.Error("apply order failed", "component", "coflowd", "err", err)
+				return
 			}
+			churn := s.eng.OrderChurn()
+			s.lastDecide.applied = true
+			s.lastDecide.latency = latency
+			s.lastDecide.churn = churn
+			s.tracer.Record(telemetry.Span{
+				Name:     "epoch-decision",
+				Coflow:   -1,
+				Duration: latency.Seconds(),
+				Attrs: map[string]string{
+					"policy": policy.Name(),
+					"epoch":  strconv.Itoa(snap.Epoch),
+					"churn":  strconv.FormatFloat(churn, 'g', -1, 64),
+				},
+			})
+			s.logger.Debug("decision applied", "component", "coflowd",
+				"policy", policy.Name(), "epoch", snap.Epoch,
+				"latency", latency, "churn", churn)
 		})
 	}()
 }
@@ -259,8 +355,18 @@ func (s *Server) Drain() (online.EngineStats, error) {
 	var derr error
 	err := s.do(func() {
 		s.draining = true
+		s.logger.Info("drain started", "component", "coflowd", "active", s.eng.NumCoflows())
 		derr = s.eng.Drain()
+		// Close out lifecycle traces for coflows that finished inside the
+		// drain (the tick loop never sees them).
+		for _, id := range s.eng.TakeCompleted() {
+			s.tracer.Record(telemetry.Span{Name: "completion", Trace: s.traceIDs[id], Coflow: id,
+				Attrs: map[string]string{"drained": "true"}})
+			delete(s.traceIDs, id)
+		}
 		st = s.eng.Stats()
+		s.logger.Info("drain finished", "component", "coflowd",
+			"completed", st.Completed, "sim_now", st.Now, "err", derr)
 	})
 	if err != nil {
 		return st, err

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerTextAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo, "text", "coflowd", "shard2")
+	l.Info("draining", "active", 3)
+	out := buf.String()
+	for _, want := range []string{"component=coflowd", "shard=shard2", "draining", "active=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text log %q missing %q", out, want)
+		}
+	}
+
+	buf.Reset()
+	l = NewLogger(&buf, slog.LevelInfo, "json", "coflowgate", "")
+	l.Warn("backend ejected", "backend", "s1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["component"] != "coflowgate" || rec["backend"] != "s1" || rec["msg"] != "backend ejected" {
+		t.Errorf("json record = %v", rec)
+	}
+	if _, hasShard := rec["shard"]; hasShard {
+		t.Error("empty shard must not be attached")
+	}
+}
+
+func TestNewLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelWarn, "text", "c", "")
+	l.Info("quiet")
+	if buf.Len() != 0 {
+		t.Errorf("info leaked through warn level: %q", buf.String())
+	}
+	l.Error("loud")
+	if buf.Len() == 0 {
+		t.Error("error suppressed at warn level")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "WARN": slog.LevelWarn,
+		"warning": slog.LevelWarn, "error": slog.LevelError, "bogus": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLogfLoggerBridgesAttrs(t *testing.T) {
+	var lines []string
+	l := LogfLogger(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	l = l.With("backend", "s3")
+	l.Info("ejected", "failures", 2)
+	l.Debug("probe failed") // printf sinks drop debug chatter
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug filtered): %v", len(lines), lines)
+	}
+	for _, want := range []string{"ejected", "backend=s3", "failures=2"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("bridged line %q missing %q", lines[0], want)
+		}
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	// Must simply not panic or allocate surprises.
+	l := DiscardLogger()
+	l.Info("dropped", "k", "v")
+	l.With("a", 1).WithGroup("g").Error("also dropped")
+}

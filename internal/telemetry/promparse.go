@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition series: a metric name, its label set and
+// the sample value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is a parsed exposition page.
+type Metrics struct {
+	Samples []Sample
+	// Types maps metric names to their declared # TYPE (counter, gauge,
+	// histogram) when one was present.
+	Types map[string]string
+}
+
+// Get returns the first sample with the given name (and, if labels given as
+// alternating key/value pairs, matching those labels).
+func (m *Metrics) Get(name string, kv ...string) (Sample, bool) {
+	if len(kv)%2 != 0 {
+		panic("telemetry: Get wants alternating label key/value pairs")
+	}
+outer:
+	for _, s := range m.Samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue outer
+			}
+		}
+		return s, true
+	}
+	return Sample{}, false
+}
+
+// Names returns the set of distinct sample names on the page.
+func (m *Metrics) Names() map[string]bool {
+	out := make(map[string]bool, len(m.Samples))
+	for _, s := range m.Samples {
+		out[s.Name] = true
+	}
+	return out
+}
+
+// ParseMetrics parses a Prometheus text-format (version 0.0.4) exposition
+// page: `name{label="value",...} value` sample lines plus # HELP / # TYPE
+// comments. It is deliberately minimal — no timestamps, no exemplars — but
+// strict about what it does cover: any line it cannot parse is an error, so
+// a test feeding it a daemon's /metrics output proves the whole page
+// conforms.
+func ParseMetrics(text string) (*Metrics, error) {
+	m := &Metrics{Types: make(map[string]string)}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE comment", ln+1, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", ln+1, fields[3])
+				}
+				m.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	return m, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Name runs to the first '{' or space.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(rest[1:close], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	// A trailing timestamp would appear as a second field; reject it — the
+	// repo's daemons never emit one.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(raw string) (float64, error) {
+	switch raw {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+// parseLabels parses the inside of a `{...}` block into dst.
+func parseLabels(body string, dst map[string]string) error {
+	rest := body
+	for strings.TrimSpace(rest) != "" {
+		rest = strings.TrimLeft(rest, ", \t")
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return fmt.Errorf("label %q has no value", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %q value is not quoted", name)
+		}
+		value, n, err := unquoteLabelValue(rest)
+		if err != nil {
+			return fmt.Errorf("label %q: %w", name, err)
+		}
+		if _, dup := dst[name]; dup {
+			return fmt.Errorf("label %q repeated", name)
+		}
+		dst[name] = value
+		rest = rest[n:]
+	}
+	return nil
+}
+
+// unquoteLabelValue decodes one quoted label value starting at rest[0]=='"',
+// returning the value and the number of input bytes consumed.
+func unquoteLabelValue(rest string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", rest[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(rest[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
