@@ -26,6 +26,17 @@
 // With -wait the command polls until every admitted coflow completes and
 // reports the daemon's final scheduling statistics. Exit status is non-zero
 // if any request failed.
+//
+// With -soak DURATION the command becomes an SLO-gated soak test: it holds
+// the target request rate for the duration while polling a coflowmon
+// /v1/slo endpoint, and exits non-zero if any SLO rule fires. The monitor is
+// either external (-monitor URL) or, with -cluster, embedded automatically
+// in the in-process cluster. -slo overrides stock objectives
+// (p99_admit_ms=X, p99_tick_ms=X, comma-separated) and -bundle-dir gives the
+// embedded monitor's flight recorder a home:
+//
+//	coflowload -cluster 2 -soak 30s -rate 200 -slo p99_admit_ms=250 -bundle-dir ./bundles
+//	coflowload -target http://gw:8090 -monitor http://mon:8099 -soak 5m
 package main
 
 import (
@@ -34,12 +45,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"coflowsched/internal/cluster"
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
+	"coflowsched/internal/monitor"
 	"coflowsched/internal/server"
 	"coflowsched/internal/workload"
 )
@@ -48,9 +63,13 @@ import (
 // failed" (already summarized in the printed report) from setup errors.
 var errFailedRequests = errors.New("some requests failed")
 
+// errSLOViolated means the soak completed but an SLO rule fired — the
+// gating signal CI and release pipelines key on.
+var errSLOViolated = errors.New("slo violated")
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		if !errors.Is(err, errFailedRequests) {
+		if !errors.Is(err, errFailedRequests) && !errors.Is(err, errSLOViolated) {
 			fmt.Fprintln(os.Stderr, "coflowload:", err)
 		}
 		os.Exit(1)
@@ -83,6 +102,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		clusterN  = fs.Int("cluster", 0, "replay against an in-process cluster of this many coflowd shards behind a coflowgate gateway (overrides -target)")
 		placement = fs.String("cluster-placement", "hash", "gateway placement with -cluster: hash, least-load")
 		timescale = fs.Float64("cluster-timescale", 50, "shard simulated time units per wall second with -cluster")
+
+		soak       = fs.Duration("soak", 0, "hold the target rate for this long while polling /v1/slo; exit non-zero if a rule fires")
+		sloSpec    = fs.String("slo", "", "comma-separated SLO objective overrides for the embedded monitor: p99_admit_ms=X, p99_tick_ms=X")
+		monitorURL = fs.String("monitor", "", "coflowmon base URL to poll during -soak (set automatically with -cluster)")
+		bundleDir  = fs.String("bundle-dir", "", "flight-recorder bundle directory for the embedded monitor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +114,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *scenario != "" && *trace != "" {
 		return fmt.Errorf("-scenario and -trace are mutually exclusive")
+	}
+	sloRules, err := soakRules(*sloSpec)
+	if err != nil {
+		return err
+	}
+	if *sloSpec != "" && *clusterN == 0 {
+		return fmt.Errorf("-slo configures the embedded monitor and needs -cluster")
 	}
 
 	cfg := server.LoadConfig{
@@ -129,23 +160,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	targetURL := *target
+	monURL := *monitorURL
 	if *clusterN > 0 {
 		pl, err := cluster.ParsePlacement(*placement)
 		if err != nil {
 			return err
 		}
-		local, err := cluster.NewLocal(cluster.LocalConfig{
+		lcfg := cluster.LocalConfig{
 			Shards:    *clusterN,
 			TimeScale: *timescale,
 			Gateway:   cluster.Config{Placement: pl},
 			Logf:      logf,
-		})
+		}
+		if *soak > 0 || *bundleDir != "" {
+			// A soaked or bundle-collecting cluster run gets an embedded
+			// monitor watching the gateway and every shard.
+			lcfg.Monitor = &monitor.Config{
+				Interval:  soakScrapeInterval,
+				Rules:     sloRules,
+				BundleDir: *bundleDir,
+			}
+		}
+		local, err := cluster.NewLocal(lcfg)
 		if err != nil {
 			return fmt.Errorf("starting in-process cluster: %v", err)
 		}
 		defer local.Close()
 		targetURL = local.URL()
 		logf("coflowload: in-process cluster of %d shards at %s (%s placement)", *clusterN, targetURL, pl.Name())
+		if local.Monitor != nil {
+			monURL = local.MonitorURL()
+			logf("coflowload: embedded monitor at %s", monURL)
+		}
+	}
+	if *soak > 0 {
+		if monURL == "" {
+			return fmt.Errorf("-soak needs a monitor: pass -monitor URL or use -cluster")
+		}
+		if cfg.Instance == nil {
+			// Size the generated workload to cover the soak window at the
+			// requested rate; -coflows is ignored in soak mode.
+			cfg.Coflows = int(soak.Seconds()**rate) + 1
+		}
 	}
 
 	c := server.NewClient(targetURL)
@@ -160,7 +216,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			len(cfg.Instance.Coflows), cfg.Instance.NumFlows(), *speedup)
 	}
 
-	report, err := server.RunLoad(c, cfg)
+	var report *server.LoadReport
+	var soakRep *soakReport
+	if *soak > 0 {
+		report, soakRep, err = runSoak(c, cfg, monURL, *soak, logf)
+	} else {
+		report, err = server.RunLoad(c, cfg)
+	}
 	if err != nil {
 		if report != nil && !*jsonOut {
 			fmt.Fprintln(stdout, report)
@@ -183,7 +245,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Target string                `json:"target"`
 			Load   *server.LoadReport    `json:"load"`
 			Daemon *server.StatsResponse `json:"daemon,omitempty"`
-		}{Target: targetURL, Load: report, Daemon: daemonStats}
+			Soak   *soakReport           `json:"soak,omitempty"`
+		}{Target: targetURL, Load: report, Daemon: daemonStats, Soak: soakRep}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -196,11 +259,167 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
 				st.Admitted, st.Completed, st.WeightedCCT, st.WeightedResponse, st.SlowdownP95, st.SolveMsP95)
 		}
+		if soakRep != nil {
+			fmt.Fprint(stdout, soakRep)
+		}
+	}
+	if soakRep != nil && len(soakRep.Violated) > 0 {
+		return errSLOViolated
 	}
 	if report.Failures > 0 {
 		return errFailedRequests
 	}
 	return nil
+}
+
+// soakScrapeInterval is the embedded monitor's scrape period in soak mode —
+// short enough that a short CI soak sees several rule evaluations.
+const soakScrapeInterval = 100 * time.Millisecond
+
+// soakReport summarizes an SLO-gated soak: the held duration, every rule's
+// final status, and the rules that fired at any point during the window.
+type soakReport struct {
+	DurationSeconds float64              `json:"duration_seconds"`
+	Rules           []monitor.RuleStatus `json:"rules"`
+	Violated        []string             `json:"violated,omitempty"`
+}
+
+// String renders the text-mode soak summary.
+func (s *soakReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: held %.1fs, %d rules", s.DurationSeconds, len(s.Rules))
+	if len(s.Violated) == 0 {
+		b.WriteString(", all healthy\n")
+	} else {
+		fmt.Fprintf(&b, ", VIOLATED: %s\n", strings.Join(s.Violated, ", "))
+	}
+	for _, r := range s.Rules {
+		fmt.Fprintf(&b, "soak: rule %-16s %-8s firings=%d\n", r.Rule.Name, r.State, r.Firings)
+	}
+	return b.String()
+}
+
+// runSoak drives the load in the background while polling the monitor's
+// /v1/slo, holding the soak window open even if the load finishes early. A
+// rule counts as violated if it is firing — or has fired — at any poll.
+func runSoak(c *server.Client, cfg server.LoadConfig, monURL string, d time.Duration, logf func(string, ...any)) (*server.LoadReport, *soakReport, error) {
+	type loadResult struct {
+		report *server.LoadReport
+		err    error
+	}
+	start := time.Now()
+	loadCh := make(chan loadResult, 1)
+	go func() {
+		r, err := server.RunLoad(c, cfg)
+		loadCh <- loadResult{r, err}
+	}()
+
+	violated := map[string]bool{}
+	poll := func() ([]monitor.RuleStatus, error) {
+		rules, err := fetchSLO(monURL)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rules {
+			if (r.State == monitor.StateFiring || r.Firings > 0) && !violated[r.Rule.Name] {
+				violated[r.Rule.Name] = true
+				logf("coflowload: SLO %s %s (firings=%d)", r.Rule.Name, r.State, r.Firings)
+			}
+		}
+		return rules, nil
+	}
+
+	ticker := time.NewTicker(soakScrapeInterval)
+	defer ticker.Stop()
+	deadline := time.After(d)
+	var load *loadResult
+	var pollErr error
+	for load == nil || time.Since(start) < d {
+		select {
+		case r := <-loadCh:
+			load = &r
+		case <-ticker.C:
+			if _, err := poll(); err != nil {
+				pollErr = err
+			} else {
+				pollErr = nil
+			}
+		case <-deadline:
+			// Window elapsed; keep draining the load if it is still running.
+			if load == nil {
+				r := <-loadCh
+				load = &r
+			}
+		}
+	}
+	finalRules, err := poll()
+	if err != nil {
+		return load.report, nil, fmt.Errorf("polling monitor %s: %v", monURL, err)
+	}
+	if pollErr != nil {
+		return load.report, nil, fmt.Errorf("polling monitor %s: %v", monURL, pollErr)
+	}
+	rep := &soakReport{DurationSeconds: time.Since(start).Seconds(), Rules: finalRules}
+	for _, r := range finalRules {
+		if violated[r.Rule.Name] {
+			rep.Violated = append(rep.Violated, r.Rule.Name)
+		}
+	}
+	return load.report, rep, load.err
+}
+
+// fetchSLO reads a coflowmon /v1/slo endpoint.
+func fetchSLO(monURL string) ([]monitor.RuleStatus, error) {
+	resp, err := http.Get(strings.TrimSuffix(monURL, "/") + "/v1/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var body struct {
+		Rules []monitor.RuleStatus `json:"rules"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Rules, nil
+}
+
+// soakRules builds the embedded monitor's rule set: the stock DefaultRules
+// over the soak scrape interval, with -slo objective overrides applied.
+// Supported keys: p99_admit_ms (admit-p99), p99_tick_ms (tick-p99).
+func soakRules(spec string) ([]monitor.Rule, error) {
+	rules := monitor.DefaultRules(soakScrapeInterval)
+	if spec == "" {
+		return rules, nil
+	}
+	byKey := map[string]string{"p99_admit_ms": "admit-p99", "p99_tick_ms": "tick-p99"}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, raw, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -slo entry %q (want key=value)", part)
+		}
+		name, known := byKey[strings.TrimSpace(key)]
+		if !known {
+			return nil, fmt.Errorf("unknown -slo key %q (have p99_admit_ms, p99_tick_ms)", key)
+		}
+		ms, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("bad -slo value in %q: want positive milliseconds", part)
+		}
+		for i := range rules {
+			if rules[i].Name == name {
+				rules[i].Objective = ms / 1000
+			}
+		}
+	}
+	return rules, nil
 }
 
 // loadTrace parses a trace file and realizes it on a stand-in star wide

@@ -3,13 +3,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"coflowsched/internal/cluster"
 	"coflowsched/internal/graph"
+	"coflowsched/internal/monitor"
 	"coflowsched/internal/online"
 	"coflowsched/internal/server"
 )
@@ -139,5 +143,149 @@ func TestRunClusterMode(t *testing.T) {
 	// Bad cluster placement fails fast.
 	if err := run([]string{"-cluster", "2", "-cluster-placement", "nope"}, &stdout, &stderr); err == nil {
 		t.Error("bogus cluster placement accepted")
+	}
+}
+
+// TestSoakRules: -slo overrides map onto the stock rule set.
+func TestSoakRules(t *testing.T) {
+	rules, err := soakRules("p99_admit_ms=250, p99_tick_ms=80")
+	if err != nil {
+		t.Fatalf("soakRules: %v", err)
+	}
+	objectives := map[string]float64{}
+	for _, r := range rules {
+		objectives[r.Name] = r.Objective
+	}
+	if objectives["admit-p99"] != 0.25 || objectives["tick-p99"] != 0.08 {
+		t.Errorf("overrides not applied: %+v", objectives)
+	}
+	for _, bad := range []string{"p99_admit_ms", "nope=5", "p99_admit_ms=-1", "p99_admit_ms=x"} {
+		if _, err := soakRules(bad); err == nil {
+			t.Errorf("soakRules(%q) accepted", bad)
+		}
+	}
+	// -slo without -cluster is a flag error.
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-slo", "p99_admit_ms=250"}, &stdout, &stderr); err == nil {
+		t.Error("-slo without -cluster accepted")
+	}
+	// -soak without any monitor is a flag error.
+	if err := run([]string{"-target", "http://127.0.0.1:1", "-soak", "1s"}, &stdout, &stderr); err == nil {
+		t.Error("-soak without -monitor or -cluster accepted")
+	}
+}
+
+// TestRunSoakHealthy is the green half of the SLO-enforcement acceptance
+// test: a short soak of a healthy embedded cluster exits zero with every
+// rule healthy in the JSON soak section.
+func TestRunSoakHealthy(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-cluster", "2", "-cluster-timescale", "200",
+		"-soak", "1500ms", "-rate", "40", "-slo", "p99_admit_ms=5000",
+		"-wait", "-quiet", "-json",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("healthy soak failed: %v\nstdout: %s\nstderr: %s", err, stdout.String(), stderr.String())
+	}
+	var out struct {
+		Soak *struct {
+			DurationSeconds float64  `json:"duration_seconds"`
+			Violated        []string `json:"violated"`
+			Rules           []struct {
+				Rule struct {
+					Name string `json:"name"`
+				} `json:"rule"`
+				State string `json:"state"`
+			} `json:"rules"`
+		} `json:"soak"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if out.Soak == nil || out.Soak.DurationSeconds < 1.4 {
+		t.Fatalf("soak section missing or short: %+v", out.Soak)
+	}
+	if len(out.Soak.Violated) != 0 {
+		t.Errorf("healthy soak reported violations: %+v", out.Soak.Violated)
+	}
+	names := map[string]bool{}
+	for _, r := range out.Soak.Rules {
+		names[r.Rule.Name] = true
+	}
+	for _, want := range []string{"admit-p99", "tick-p99", "shard-down", "scrape-failure"} {
+		if !names[want] {
+			t.Errorf("soak rules lack %s (have %v)", want, names)
+		}
+	}
+}
+
+// TestRunSoakViolated is the red half: a soak pointed (via -monitor) at a
+// cluster whose shard has been killed exits with errSLOViolated, and the
+// monitor's flight recorder has written a bundle for the fired rule.
+func TestRunSoakViolated(t *testing.T) {
+	bundleDir := t.TempDir()
+	l, err := cluster.NewLocal(cluster.LocalConfig{
+		Shards:    2,
+		TimeScale: 200,
+		Monitor: &monitor.Config{
+			Interval:  100 * time.Millisecond,
+			BundleDir: bundleDir,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new local cluster: %v", err)
+	}
+	defer l.Close()
+
+	// Kill a shard and wait for the monitor to notice: the shard's listener
+	// answers 503, so its scrape fails (up=0) and, once the gateway's health
+	// loop ejects it, coflowgate_backend_up goes 0 too.
+	l.Kill(1)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		fired := false
+		for _, r := range l.Monitor.RuleStatuses() {
+			if r.Rule.Name == "scrape-failure" && r.State == monitor.StateFiring {
+				fired = true
+			}
+		}
+		if fired {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrape-failure never fired: %+v", l.Monitor.RuleStatuses())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err = run([]string{
+		"-target", l.URL(), "-monitor", l.MonitorURL(),
+		"-soak", "500ms", "-rate", "20", "-quiet",
+	}, &stdout, &stderr)
+	if !errors.Is(err, errSLOViolated) {
+		t.Fatalf("soak against broken cluster = %v, want errSLOViolated\nstdout: %s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "VIOLATED") {
+		t.Errorf("text report lacks violation banner:\n%s", stdout.String())
+	}
+
+	// The firing transition produced a readable bundle.
+	entries, err := os.ReadDir(bundleDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no bundles written: %v %v", entries, err)
+	}
+	data, err := os.ReadFile(filepath.Join(bundleDir, entries[0].Name()))
+	if err != nil {
+		t.Fatalf("read bundle: %v", err)
+	}
+	var b monitor.Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if b.Rule.State != monitor.StateFiring || len(b.Series) == 0 || len(b.Targets) == 0 {
+		t.Errorf("bundle incomplete: rule=%+v series=%d targets=%d", b.Rule, len(b.Series), len(b.Targets))
 	}
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"coflowsched/internal/monitor"
+	"coflowsched/internal/telemetry"
+)
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("shard0=http://a:1, http://b:2 ,gw=http://c:3")
+	if err != nil {
+		t.Fatalf("parseTargets: %v", err)
+	}
+	want := []monitor.Target{
+		{Name: "shard0", URL: "http://a:1"},
+		{Name: "target1", URL: "http://b:2"},
+		{Name: "gw", URL: "http://c:3"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseTargets = %+v, want %+v", got, want)
+	}
+	if _, err := parseTargets("=http://x"); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+// TestRunFlagErrors: misconfiguration fails fast with a clear message.
+func TestRunFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no targets":   {},
+		"bad target":   {"-targets", "=http://x"},
+		"unknown flag": {"-bogus"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run(context.Background(), args, io.Discard); err == nil {
+				t.Errorf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+// TestRunEndToEnd boots the daemon against a fake scrape target, waits for
+// the first scrape to land, queries the API, and shuts down via context
+// cancellation.
+func TestRunEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("coflowd_up", "").Set(1)
+	target := httptest.NewServer(reg.Handler())
+	t.Cleanup(target.Close)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", addr,
+			"-targets", "shard0=" + target.URL,
+			"-interval", "50ms",
+		}, io.Discard)
+	}()
+
+	var tgts struct {
+		Targets []monitor.TargetStatus `json:"targets"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/targets")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&tgts)
+			resp.Body.Close()
+		}
+		if err == nil && len(tgts.Targets) == 1 && tgts.Targets[0].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never scraped the target: %+v err=%v", tgts, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var slo struct {
+		Rules []monitor.RuleStatus `json:"rules"`
+	}
+	resp, err := http.Get("http://" + addr + "/v1/slo")
+	if err != nil {
+		t.Fatalf("slo: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slo); err != nil {
+		t.Fatalf("decode slo: %v", err)
+	}
+	resp.Body.Close()
+	if len(slo.Rules) == 0 {
+		t.Fatal("daemon runs no default rules")
+	}
+	for _, r := range slo.Rules {
+		if r.State == monitor.StateFiring {
+			t.Errorf("rule %s firing on a healthy target", r.Rule.Name)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

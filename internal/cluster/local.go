@@ -8,8 +8,10 @@ import (
 	"sync"
 
 	"coflowsched/internal/graph"
+	"coflowsched/internal/monitor"
 	"coflowsched/internal/online"
 	"coflowsched/internal/server"
+	"coflowsched/internal/telemetry"
 )
 
 // LocalConfig parameterizes an in-process cluster: N coflowd shards, each a
@@ -29,6 +31,12 @@ type LocalConfig struct {
 	CandidatePaths int
 	// Gateway configures the front door.
 	Gateway Config
+	// Monitor, when non-nil, embeds a coflowmon monitor watching the whole
+	// cluster: its DiscoverURL is wired to the gateway automatically, so it
+	// scrapes the gateway and every shard and evaluates SLO rules (nil Rules
+	// means DefaultRules over its Interval). The monitor's HTTP API is served
+	// at MonitorURL().
+	Monitor *monitor.Config
 	// Logger receives structured shard and gateway logs (each shard's logger
 	// gains its shard field automatically). Logf is the legacy printf sink,
 	// used when Logger is nil.
@@ -89,14 +97,19 @@ func (sh *localShard) serve(w http.ResponseWriter, r *http.Request) {
 	h.ServeHTTP(w, r)
 }
 
-// Local is an in-process cluster: gateway + N shards on loopback listeners.
+// Local is an in-process cluster: gateway + N shards on loopback listeners,
+// optionally watched by an embedded monitor.
 type Local struct {
 	// Gateway is the front door; URL() serves its HTTP API.
 	Gateway *Gateway
+	// Monitor is the embedded coflowmon instance (nil unless
+	// LocalConfig.Monitor was set).
+	Monitor *monitor.Monitor
 
-	cfg    LocalConfig
-	http   *httptest.Server
-	shards []*localShard
+	cfg         LocalConfig
+	http        *httptest.Server
+	monitorHTTP *httptest.Server
+	shards      []*localShard
 }
 
 // NewLocal builds and starts an in-process cluster of cfg.Shards coflowd
@@ -133,11 +146,37 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 		}
 	}
 	l.http = httptest.NewServer(l.Gateway.Handler())
+	if cfg.Monitor != nil {
+		mcfg := *cfg.Monitor
+		mcfg.DiscoverURL = l.http.URL
+		if mcfg.Logger == nil {
+			if cfg.Logger != nil {
+				mcfg.Logger = cfg.Logger
+			} else if cfg.Logf != nil {
+				mcfg.Logger = telemetry.LogfLogger(cfg.Logf)
+			}
+		}
+		m, err := monitor.New(mcfg)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("cluster: starting monitor: %w", err)
+		}
+		l.Monitor = m
+		l.monitorHTTP = httptest.NewServer(m.Handler())
+	}
 	return l, nil
 }
 
 // URL is the gateway's base URL.
 func (l *Local) URL() string { return l.http.URL }
+
+// MonitorURL is the embedded monitor's base URL ("" without a monitor).
+func (l *Local) MonitorURL() string {
+	if l.monitorHTTP == nil {
+		return ""
+	}
+	return l.monitorHTTP.URL
+}
 
 // Client returns a fresh typed client against the gateway.
 func (l *Local) Client() *server.Client { return server.NewClient(l.URL()) }
@@ -223,8 +262,14 @@ func (l *Local) DrainAll() (online.EngineStats, error) {
 	return online.MergeEngineStats(parts...), nil
 }
 
-// Close tears the whole cluster down.
+// Close tears the whole cluster down, monitor first (it scrapes the rest).
 func (l *Local) Close() {
+	if l.monitorHTTP != nil {
+		l.monitorHTTP.Close()
+	}
+	if l.Monitor != nil {
+		l.Monitor.Close()
+	}
 	if l.http != nil {
 		l.http.Close()
 	}

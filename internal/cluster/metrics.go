@@ -49,6 +49,7 @@ func newGateMetrics() *gateMetrics {
 		admitSeconds:    reg.Histogram("coflowgate_admit_seconds", "gateway admission latency (queue wait + shard round trip)", nil),
 		traceSpans:      reg.Counter("coflowgate_trace_spans_total", "lifecycle trace spans recorded"),
 	}
+	telemetry.RegisterRuntimeCollector(reg)
 	m.up.Set(1)
 	return m
 }

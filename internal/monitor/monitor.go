@@ -1,0 +1,408 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"coflowsched/internal/telemetry"
+)
+
+// Target is one scrape endpoint: a stable instance name (the label stamped
+// onto every stored series) and the base URL of a daemon serving /metrics.
+type Target struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Targets are statically configured scrape endpoints.
+	Targets []Target
+	// DiscoverURL, when set, is a coflowgate base URL: the gateway itself is
+	// scraped under the instance name "gateway", and its /v1/backends roster
+	// is re-read every interval so shards come and go dynamically.
+	DiscoverURL string
+	// Interval between scrape-and-evaluate cycles. Default 1s.
+	Interval time.Duration
+	// MaxPoints bounds each stored series ring. Default DefaultMaxPoints.
+	MaxPoints int
+	// Rules is the SLO set; nil means DefaultRules(Interval).
+	Rules []Rule
+	// BundleDir is where the flight recorder writes post-mortem bundles on
+	// a rule's transition to firing. Empty disables the recorder.
+	BundleDir string
+	// HTTPTimeout bounds each scrape and evidence fetch. Default 2s.
+	HTTPTimeout time.Duration
+	// Logger receives structured scrape/rule logs; nil discards.
+	Logger *slog.Logger
+}
+
+// TargetStatus is one target's most recent scrape outcome, served at
+// /v1/targets and embedded in bundles.
+type TargetStatus struct {
+	Target
+	Healthy         bool      `json:"healthy"`
+	LastScrape      time.Time `json:"last_scrape"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Samples         int       `json:"samples"`
+	LastError       string    `json:"last_error,omitempty"`
+}
+
+// Monitor scrapes targets into a Store on a fixed interval, evaluates SLO
+// rules over the stored series, and hands firing transitions to the flight
+// recorder.
+type Monitor struct {
+	cfg      Config
+	store    *Store
+	client   *http.Client
+	log      *slog.Logger
+	recorder *recorder
+	metrics  *monMetrics
+
+	mu       sync.Mutex
+	rules    []*ruleInstance
+	statuses map[string]*TargetStatus
+	order    []string // target names in first-seen order
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// monMetrics is the monitor's own scrape surface — the watcher is watched
+// the same way as everything else.
+type monMetrics struct {
+	reg          *telemetry.Registry
+	scrapes      *telemetry.Counter
+	scrapeErrors *telemetry.CounterVec
+	scrapeDur    *telemetry.Histogram
+	samples      *telemetry.Counter
+	series       *telemetry.Gauge
+	ruleEvals    *telemetry.Counter
+	rulesFiring  *telemetry.Gauge
+	bundles      *telemetry.Counter
+}
+
+func newMonMetrics() *monMetrics {
+	reg := telemetry.NewRegistry()
+	m := &monMetrics{
+		reg:          reg,
+		scrapes:      reg.Counter("coflowmon_scrapes_total", "target scrape attempts"),
+		scrapeErrors: reg.CounterVec("coflowmon_scrape_errors_total", "failed scrapes of the labelled target", "instance"),
+		scrapeDur:    reg.Histogram("coflowmon_scrape_duration_seconds", "wall time of one target scrape", nil),
+		samples:      reg.Counter("coflowmon_samples_total", "samples appended to the time-series store"),
+		series:       reg.Gauge("coflowmon_series", "distinct series held in the store"),
+		ruleEvals:    reg.Counter("coflowmon_rule_evaluations_total", "SLO rule evaluations"),
+		rulesFiring:  reg.Gauge("coflowmon_rules_firing", "rules currently in the firing state"),
+		bundles:      reg.Counter("coflowmon_bundles_written_total", "flight-recorder bundles written"),
+	}
+	reg.Gauge("coflowmon_up", "1 while the monitor runs").Set(1)
+	telemetry.RegisterRuntimeCollector(reg)
+	return m
+}
+
+// New validates the config, primes the rule set and starts the scrape loop.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.DiscardLogger()
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = DefaultRules(cfg.Interval)
+	}
+	if len(cfg.Targets) == 0 && cfg.DiscoverURL == "" {
+		return nil, fmt.Errorf("monitor: no targets and no discover URL")
+	}
+	seen := map[string]bool{}
+	for _, t := range cfg.Targets {
+		if t.Name == "" || t.URL == "" {
+			return nil, fmt.Errorf("monitor: target needs name and url: %+v", t)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("monitor: duplicate target name %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	m := &Monitor{
+		cfg:      cfg,
+		store:    NewStore(cfg.MaxPoints),
+		client:   &http.Client{Timeout: cfg.HTTPTimeout},
+		log:      cfg.Logger,
+		metrics:  newMonMetrics(),
+		statuses: make(map[string]*TargetStatus),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	now := time.Now()
+	for _, r := range cfg.Rules {
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("monitor: %w", err)
+		}
+		m.rules = append(m.rules, &ruleInstance{rule: r, state: StateHealthy, since: now})
+	}
+	if cfg.BundleDir != "" {
+		m.recorder = newRecorder(cfg.BundleDir, m)
+	}
+	go m.loop()
+	return m, nil
+}
+
+// Store exposes the underlying time-series store (read-only use: queries and
+// the quantile-agreement tests).
+func (m *Monitor) Store() *Store { return m.store }
+
+// Metrics exposes the monitor's own registry (tests scrape it directly).
+func (m *Monitor) Metrics() *telemetry.Registry { return m.metrics.reg }
+
+// Close stops the scrape loop and waits for it to exit.
+func (m *Monitor) Close() {
+	select {
+	case <-m.stop:
+		return // already closed
+	default:
+	}
+	close(m.stop)
+	<-m.done
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Tick()
+		}
+	}
+}
+
+// Tick runs one synchronous scrape-and-evaluate cycle. The loop calls it on
+// every interval; tests call it directly to step the monitor
+// deterministically.
+func (m *Monitor) Tick() {
+	now := time.Now()
+	targets := m.resolveTargets()
+	var wg sync.WaitGroup
+	results := make([]TargetStatus, len(targets))
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			results[i] = m.scrapeTarget(t, now)
+		}(i, t)
+	}
+	wg.Wait()
+
+	m.mu.Lock()
+	for i := range results {
+		st := results[i]
+		if _, ok := m.statuses[st.Name]; !ok {
+			m.order = append(m.order, st.Name)
+		}
+		m.statuses[st.Name] = &st
+	}
+	m.mu.Unlock()
+
+	m.evaluate(now)
+
+	series, samples := m.store.Counts()
+	m.metrics.series.Set(float64(series))
+	m.metrics.samples.Set(float64(samples))
+}
+
+// resolveTargets merges the static target list with the gateway roster.
+func (m *Monitor) resolveTargets() []Target {
+	targets := append([]Target{}, m.cfg.Targets...)
+	if m.cfg.DiscoverURL != "" {
+		targets = append(targets, Target{Name: "gateway", URL: m.cfg.DiscoverURL})
+		backends, err := m.discover()
+		if err != nil {
+			m.log.Warn("backend discovery failed", "url", m.cfg.DiscoverURL, "err", err)
+		} else {
+			targets = append(targets, backends...)
+		}
+	}
+	// De-duplicate by name, first wins (static config beats discovery).
+	seen := map[string]bool{}
+	out := targets[:0]
+	for _, t := range targets {
+		if seen[t.Name] {
+			continue
+		}
+		seen[t.Name] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// discover reads the gateway's /v1/backends roster. The response shape is
+// decoded locally (name + url are all the monitor needs) rather than by
+// importing internal/cluster, which imports this package to embed monitors.
+func (m *Monitor) discover() ([]Target, error) {
+	resp, err := m.client.Get(strings.TrimSuffix(m.cfg.DiscoverURL, "/") + "/v1/backends")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var roster []struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&roster); err != nil {
+		return nil, fmt.Errorf("decode roster: %w", err)
+	}
+	out := make([]Target, 0, len(roster))
+	for _, b := range roster {
+		if b.Name == "" || b.URL == "" {
+			continue
+		}
+		out = append(out, Target{Name: b.Name, URL: b.URL})
+	}
+	return out, nil
+}
+
+// scrapeTarget fetches and parses one /metrics page, appending every sample
+// (stamped with {instance=<name>}) plus the synthetic up /
+// scrape_duration_seconds / scrape_errors_total series.
+func (m *Monitor) scrapeTarget(t Target, now time.Time) TargetStatus {
+	m.metrics.scrapes.Inc()
+	start := time.Now()
+	page, err := m.fetchMetrics(t.URL)
+	dur := time.Since(start)
+	m.metrics.scrapeDur.Observe(dur.Seconds())
+
+	st := TargetStatus{Target: t, LastScrape: now, DurationSeconds: dur.Seconds()}
+	instance := map[string]string{"instance": t.Name}
+	up := 0.0
+	if err != nil {
+		st.LastError = err.Error()
+		m.metrics.scrapeErrors.With(t.Name).Inc()
+		m.store.Append("scrape_errors_total", instance, now, m.metrics.scrapeErrors.With(t.Name).Value())
+		m.log.Warn("scrape failed", "instance", t.Name, "url", t.URL, "err", err)
+	} else {
+		up = 1
+		st.Healthy = true
+		st.Samples = len(page.Samples)
+		for _, s := range page.Samples {
+			labels := map[string]string{"instance": t.Name}
+			for k, v := range s.Labels {
+				labels[k] = v
+			}
+			m.store.Append(s.Name, labels, now, s.Value)
+		}
+	}
+	m.store.Append("up", instance, now, up)
+	m.store.Append("scrape_duration_seconds", instance, now, dur.Seconds())
+	return st
+}
+
+func (m *Monitor) fetchMetrics(base string) (*telemetry.Metrics, error) {
+	resp, err := m.client.Get(strings.TrimSuffix(base, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.ParseMetrics(string(body))
+}
+
+// evaluate steps every rule's state machine and triggers the recorder on
+// firing transitions.
+func (m *Monitor) evaluate(now time.Time) {
+	var fired []RuleStatus
+	firing := 0
+	m.mu.Lock()
+	for _, ri := range m.rules {
+		m.metrics.ruleEvals.Inc()
+		if ri.eval(m.store, now) {
+			fired = append(fired, ri.status())
+		}
+		if ri.state == StateFiring {
+			firing++
+		}
+	}
+	m.mu.Unlock()
+	m.metrics.rulesFiring.Set(float64(firing))
+	for _, rs := range fired {
+		m.log.Error("SLO rule firing", "rule", rs.Rule.Name, "metric", rs.Rule.Metric,
+			"fast_burn", deref(rs.FastBurn), "slow_burn", deref(rs.SlowBurn))
+		if m.recorder != nil {
+			if info, err := m.recorder.capture(rs, now); err != nil {
+				m.log.Error("bundle capture failed", "rule", rs.Rule.Name, "err", err)
+			} else {
+				m.metrics.bundles.Inc()
+				m.log.Info("bundle written", "rule", rs.Rule.Name, "path", info.Path)
+			}
+		}
+	}
+}
+
+func deref(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// RuleStatuses snapshots every rule's state, in configuration order.
+func (m *Monitor) RuleStatuses() []RuleStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RuleStatus, len(m.rules))
+	for i, ri := range m.rules {
+		out[i] = ri.status()
+	}
+	return out
+}
+
+// TargetStatuses snapshots every known target's last scrape outcome.
+func (m *Monitor) TargetStatuses() []TargetStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TargetStatus, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, *m.statuses[name])
+	}
+	return out
+}
+
+// Bundles lists the flight-recorder bundles written so far (newest last).
+func (m *Monitor) Bundles() []BundleInfo {
+	if m.recorder == nil {
+		return nil
+	}
+	return m.recorder.list()
+}
+
+// sortedLabelKeys is shared by handlers and the dashboard for stable output.
+func sortedLabelKeys(labels map[string]string) []string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

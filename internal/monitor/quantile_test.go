@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"coflowsched/internal/stats"
+	"coflowsched/internal/telemetry"
+)
+
+// TestQuantileAgreesWithPercentile is the estimator-contract test: the
+// monitor's bucket-delta quantile, fed the cumulative bucket counts two
+// scrapes apart, must agree with stats.Percentile over the same raw
+// observation stream to within one bucket width — the inherent resolution of
+// a histogram estimator — across a uniform and a heavy-tailed input.
+func TestQuantileAgreesWithPercentile(t *testing.T) {
+	buckets := telemetry.DefTimeBuckets
+	dists := []struct {
+		name string
+		draw func(rng *rand.Rand) float64
+	}{
+		// Uniform across the mid buckets.
+		{"uniform", func(rng *rand.Rand) float64 { return rng.Float64() * 0.5 }},
+		// Pareto(xm=1e-4, alpha=1): most mass in the microsecond buckets,
+		// a tail reaching past the largest finite bound.
+		{"heavy-tail", func(rng *rand.Rand) float64 { return 1e-4 / rng.Float64() }},
+	}
+	for _, dist := range dists {
+		t.Run(dist.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			const n = 5000
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = dist.draw(rng)
+			}
+			st := storeWithHistogram(t, "h", buckets, xs)
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				est, ok := st.HistogramQuantile(Selector{Name: "h"}, q, at(1), 5*time.Second)
+				if !ok {
+					t.Fatalf("q=%v: no data", q)
+				}
+				truth := stats.Percentile(xs, q*100)
+				lo, hi := owningBucket(buckets, truth)
+				if math.IsInf(hi, 1) {
+					// Truth beyond the last finite bound: the estimator's best
+					// (and documented) answer is that bound.
+					if est != lo {
+						t.Errorf("q=%v: truth %v beyond buckets, est=%v want %v", q, truth, est, lo)
+					}
+					continue
+				}
+				if diff := math.Abs(est - truth); diff > hi-lo+1e-12 {
+					t.Errorf("q=%v: est=%v truth=%v differ by %v, more than bucket width %v [%v,%v]",
+						q, est, truth, diff, hi-lo, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// storeWithHistogram appends two scrapes of a cumulative histogram built
+// from xs: an all-zero baseline at t=0 and the full counts at t=1 — exactly
+// what the monitor sees across a scrape interval.
+func storeWithHistogram(t *testing.T, name string, bounds []float64, xs []float64) *Store {
+	t.Helper()
+	st := NewStore(8)
+	counts := make([]int, len(bounds)+1) // cumulative, +Inf last
+	for _, x := range xs {
+		i := sort.SearchFloat64s(bounds, x)
+		for ; i < len(bounds); i++ {
+			counts[i]++
+		}
+		counts[len(bounds)]++
+	}
+	le := func(i int) string {
+		if i == len(bounds) {
+			return "+Inf"
+		}
+		return fmt.Sprintf("%g", bounds[i])
+	}
+	for i := range counts {
+		st.Append(name+"_bucket", map[string]string{"le": le(i)}, at(0), 0)
+	}
+	for i, c := range counts {
+		st.Append(name+"_bucket", map[string]string{"le": le(i)}, at(1), float64(c))
+	}
+	return st
+}
+
+// owningBucket returns the bucket [lo, hi] a value falls in; hi is +Inf past
+// the last bound (lo then being that largest finite bound).
+func owningBucket(bounds []float64, v float64) (lo, hi float64) {
+	i := sort.SearchFloat64s(bounds, v)
+	if i == len(bounds) {
+		return bounds[len(bounds)-1], math.Inf(1)
+	}
+	if i == 0 {
+		return 0, bounds[0]
+	}
+	return bounds[i-1], bounds[i]
+}

@@ -1,0 +1,139 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Bundle is a flight-recorder post-mortem: everything the monitor can see at
+// the moment a rule fires, in one JSON file. The pieces join: Series carry
+// {instance=...} and scraped {shard=...} labels, Traces are each daemon's
+// /debug/traces ring (spans join on trace id across gateway and shard), and
+// Epochs are each shard's /v1/epochs tail (records join on shard name and
+// the trace ids recorded per epoch).
+type Bundle struct {
+	Rule       RuleStatus                 `json:"rule"`
+	CapturedAt time.Time                  `json:"captured_at"`
+	Targets    []TargetStatus             `json:"targets"`
+	Series     []SeriesData               `json:"series"`
+	Epochs     map[string]json.RawMessage `json:"epochs,omitempty"`
+	Traces     map[string]json.RawMessage `json:"traces,omitempty"`
+}
+
+// BundleInfo is the index entry for one written bundle, served at /v1/slo.
+type BundleInfo struct {
+	Rule       string    `json:"rule"`
+	Path       string    `json:"path"`
+	CapturedAt time.Time `json:"captured_at"`
+	SizeBytes  int64     `json:"size_bytes"`
+}
+
+// evidenceTail bounds the per-target epoch and trace tails captured into a
+// bundle; keepBundles bounds the in-memory index (files stay on disk).
+const (
+	epochTail   = 128
+	traceTail   = 256
+	keepBundles = 64
+)
+
+// recorder captures bundles into a directory on firing transitions.
+type recorder struct {
+	dir string
+	m   *Monitor
+
+	mu      sync.Mutex
+	written []BundleInfo
+}
+
+func newRecorder(dir string, m *Monitor) *recorder {
+	return &recorder{dir: dir, m: m}
+}
+
+// capture assembles and writes one bundle for a just-fired rule.
+func (rc *recorder) capture(rs RuleStatus, now time.Time) (BundleInfo, error) {
+	targets := rc.m.TargetStatuses()
+	b := Bundle{
+		Rule:       rs,
+		CapturedAt: now,
+		Targets:    targets,
+		Series:     rc.m.Store().Dump(),
+		Epochs:     make(map[string]json.RawMessage),
+		Traces:     make(map[string]json.RawMessage),
+	}
+	// Evidence fetches are best-effort: a bundle for a dead-shard alert must
+	// still be written even though the dead shard answers nothing.
+	for _, t := range targets {
+		if raw, err := rc.fetchJSON(fmt.Sprintf("%s/v1/epochs?n=%d", strings.TrimSuffix(t.URL, "/"), epochTail)); err == nil {
+			b.Epochs[t.Name] = raw
+		}
+		if raw, err := rc.fetchJSON(fmt.Sprintf("%s/debug/traces?n=%d", strings.TrimSuffix(t.URL, "/"), traceTail)); err == nil {
+			b.Traces[t.Name] = raw
+		}
+	}
+	if err := os.MkdirAll(rc.dir, 0o755); err != nil {
+		return BundleInfo{}, err
+	}
+	name := fmt.Sprintf("bundle-%s-%d.json", sanitizeRuleName(rs.Rule.Name), now.UnixNano())
+	path := filepath.Join(rc.dir, name)
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return BundleInfo{}, fmt.Errorf("marshal bundle: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return BundleInfo{}, err
+	}
+	info := BundleInfo{Rule: rs.Rule.Name, Path: path, CapturedAt: now, SizeBytes: int64(len(data))}
+	rc.mu.Lock()
+	rc.written = append(rc.written, info)
+	if len(rc.written) > keepBundles {
+		rc.written = rc.written[len(rc.written)-keepBundles:]
+	}
+	rc.mu.Unlock()
+	return info, nil
+}
+
+func (rc *recorder) fetchJSON(url string) (json.RawMessage, error) {
+	resp, err := rc.m.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("response is not JSON")
+	}
+	return json.RawMessage(body), nil
+}
+
+func (rc *recorder) list() []BundleInfo {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return append([]BundleInfo{}, rc.written...)
+}
+
+// sanitizeRuleName keeps bundle file names shell- and filesystem-friendly.
+func sanitizeRuleName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,411 @@
+// Package monitor closes the observability loop PR 6 opened: coflowmon
+// scrapes the cluster's /metrics pages into bounded in-memory time-series
+// (store.go), evaluates declarative SLO rules with multi-window burn rates
+// over them (slo.go), and on a rule's transition to firing captures a
+// post-mortem flight-recorder bundle joining time-series, lifecycle traces
+// and scheduler epoch records (recorder.go). monitor.go is the daemon glue:
+// the scrape loop, target discovery via a gateway's /v1/backends, and the
+// HTTP API (/v1/targets, /v1/query, /v1/slo, a dashboard at /, /metrics).
+//
+// Like the rest of the repo the package is stdlib-only; the scrape parser is
+// telemetry.ParseMetrics, the same strict parser the conformance tests run.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point is one sample of one series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// SeriesData is one series as queries and bundles report it: the metric
+// name, its full label set (scrape labels plus the monitor-stamped
+// instance), and the retained points in chronological order.
+type SeriesData struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
+}
+
+// Selector picks series: the metric name plus label equality constraints
+// (a series matches when its label set is a superset of Labels).
+type Selector struct {
+	Name   string
+	Labels map[string]string
+}
+
+// series is one bounded ring of points.
+type series struct {
+	name   string
+	labels map[string]string
+	pts    []Point
+	next   int
+	full   bool
+}
+
+func (s *series) append(p Point, cap int) {
+	if !s.full && len(s.pts) < cap {
+		s.pts = append(s.pts, p)
+		if len(s.pts) == cap {
+			s.full = true
+		}
+		return
+	}
+	s.pts[s.next] = p
+	s.next = (s.next + 1) % len(s.pts)
+}
+
+// ordered returns the ring in chronological order.
+func (s *series) ordered() []Point {
+	out := make([]Point, 0, len(s.pts))
+	if s.full {
+		out = append(out, s.pts[s.next:]...)
+		out = append(out, s.pts[:s.next]...)
+		return out
+	}
+	return append(out, s.pts...)
+}
+
+// matches reports whether the series satisfies the selector's label
+// constraints.
+func (s *series) matches(sel Selector) bool {
+	if s.name != sel.Name {
+		return false
+	}
+	for k, v := range sel.Labels {
+		if s.labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultMaxPoints bounds each series ring: at a 1s scrape interval this
+// retains ~17 minutes of history per series.
+const DefaultMaxPoints = 1024
+
+// Store holds scraped samples as bounded per-series rings, keyed by metric
+// name x label set. Safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	maxPoints int
+	series    map[string]*series
+	order     []string
+	samples   uint64
+}
+
+// NewStore builds a store retaining at most maxPoints per series (<= 0 means
+// DefaultMaxPoints).
+func NewStore(maxPoints int) *Store {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	return &Store{maxPoints: maxPoints, series: make(map[string]*series)}
+}
+
+// seriesKey renders a stable identity for name x labels.
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('\xff')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Append records one sample. Non-finite values are dropped: NaN means "no
+// data" on every exposition page this repo produces, and neither NaN nor Inf
+// survives JSON encoding in queries or bundles.
+func (st *Store) Append(name string, labels map[string]string, t time.Time, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	key := seriesKey(name, labels)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[key]
+	if !ok {
+		copied := make(map[string]string, len(labels))
+		for k, val := range labels {
+			copied[k] = val
+		}
+		s = &series{name: name, labels: copied}
+		st.series[key] = s
+		st.order = append(st.order, key)
+	}
+	s.append(Point{T: t, V: v}, st.maxPoints)
+	st.samples++
+}
+
+// Counts reports the store size: distinct series and total samples appended.
+func (st *Store) Counts() (seriesCount int, samples uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.series), st.samples
+}
+
+// Query returns every series matching sel, with points restricted to
+// [from, to] (zero times mean unbounded). Series appear in first-seen order.
+func (st *Store) Query(sel Selector, from, to time.Time) []SeriesData {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []SeriesData
+	for _, key := range st.order {
+		s := st.series[key]
+		if !s.matches(sel) {
+			continue
+		}
+		var pts []Point
+		for _, p := range s.ordered() {
+			if !from.IsZero() && p.T.Before(from) {
+				continue
+			}
+			if !to.IsZero() && p.T.After(to) {
+				continue
+			}
+			pts = append(pts, p)
+		}
+		if pts == nil {
+			pts = []Point{}
+		}
+		out = append(out, SeriesData{Name: s.name, Labels: s.labels, Points: pts})
+	}
+	return out
+}
+
+// Dump snapshots every series' retained window — the flight recorder's
+// time-series evidence.
+func (st *Store) Dump() []SeriesData {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SeriesData, 0, len(st.order))
+	for _, key := range st.order {
+		s := st.series[key]
+		out = append(out, SeriesData{Name: s.name, Labels: s.labels, Points: s.ordered()})
+	}
+	return out
+}
+
+// ---- derived views ----
+
+// LastValue is the gauge view: the most recent sample of each matching
+// series within [now-window, now], reduced by reduce ("min" or "max") into
+// one value. ok is false when no matching series has a point in the window.
+func (st *Store) LastValue(sel Selector, now time.Time, window time.Duration, reduce string) (float64, bool) {
+	from := now.Add(-window)
+	best := math.NaN()
+	for _, sd := range st.Query(sel, from, now) {
+		if len(sd.Points) == 0 {
+			continue
+		}
+		v := sd.Points[len(sd.Points)-1].V
+		switch {
+		case math.IsNaN(best):
+			best = v
+		case reduce == "min" && v < best:
+			best = v
+		case reduce != "min" && v > best:
+			best = v
+		}
+	}
+	return best, !math.IsNaN(best)
+}
+
+// WorstValue reduces every point (not just the last) of matching series in
+// the window — the view sustained-outage rules want: a gauge that dipped and
+// recovered still counts for as long as the dip stays inside the window.
+func (st *Store) WorstValue(sel Selector, now time.Time, window time.Duration, reduce string) (float64, bool) {
+	from := now.Add(-window)
+	best := math.NaN()
+	for _, sd := range st.Query(sel, from, now) {
+		for _, p := range sd.Points {
+			switch {
+			case math.IsNaN(best):
+				best = p.V
+			case reduce == "min" && p.V < best:
+				best = p.V
+			case reduce != "min" && p.V > best:
+				best = p.V
+			}
+		}
+	}
+	return best, !math.IsNaN(best)
+}
+
+// CounterRate is the counter view: the summed increase per second of every
+// matching series over [now-window, now]. Counter resets (a restarted
+// daemon) contribute the post-reset value rather than a negative delta,
+// mirroring Prometheus rate() semantics. ok is false when no series has two
+// points in the window.
+func (st *Store) CounterRate(sel Selector, now time.Time, window time.Duration) (float64, bool) {
+	from := now.Add(-window)
+	total := 0.0
+	ok := false
+	var spanStart, spanEnd time.Time
+	for _, sd := range st.Query(sel, from, now) {
+		if len(sd.Points) < 2 {
+			continue
+		}
+		ok = true
+		for i := 1; i < len(sd.Points); i++ {
+			d := sd.Points[i].V - sd.Points[i-1].V
+			if d < 0 { // reset: the counter restarted from zero
+				d = sd.Points[i].V
+			}
+			total += d
+		}
+		if spanStart.IsZero() || sd.Points[0].T.Before(spanStart) {
+			spanStart = sd.Points[0].T
+		}
+		if last := sd.Points[len(sd.Points)-1].T; last.After(spanEnd) {
+			spanEnd = last
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	span := spanEnd.Sub(spanStart).Seconds()
+	if span <= 0 {
+		return 0, false
+	}
+	return total / span, true
+}
+
+// bucket is one cumulative histogram bucket's increase over a window.
+type bucket struct {
+	le    float64
+	delta float64
+}
+
+// HistogramQuantile estimates quantile q (0 < q < 1) of the observations a
+// histogram recorded during [now-window, now], from the deltas of its
+// cumulative name_bucket series. Matching series are summed per le bound
+// (aggregating across shards/instances), then the quantile is linearly
+// interpolated inside the owning bucket, exactly Prometheus's
+// histogram_quantile estimator: the true quantile lies within the owning
+// bucket, so the estimate is off by at most one bucket width.
+//
+// sel.Name is the histogram family name (without the _bucket suffix);
+// sel.Labels must not constrain le. ok is false when no observations landed
+// in the window.
+func (st *Store) HistogramQuantile(sel Selector, q float64, now time.Time, window time.Duration) (float64, bool) {
+	buckets, total := st.bucketDeltas(sel, now, window)
+	if total <= 0 || len(buckets) == 0 {
+		return 0, false
+	}
+	return quantileFromBuckets(buckets, total, q), true
+}
+
+// bucketDeltas collects the per-le cumulative-count increases of a histogram
+// over the window, sorted by ascending le, plus the total observation count
+// (the +Inf bucket's delta).
+func (st *Store) bucketDeltas(sel Selector, now time.Time, window time.Duration) ([]bucket, float64) {
+	from := now.Add(-window)
+	byLE := make(map[float64]float64)
+	for _, sd := range st.Query(Selector{Name: sel.Name + "_bucket", Labels: sel.Labels}, from, now) {
+		leRaw, ok := sd.Labels["le"]
+		if !ok || len(sd.Points) < 2 {
+			continue
+		}
+		le, err := parseLE(leRaw)
+		if err != nil {
+			continue
+		}
+		delta := 0.0
+		for i := 1; i < len(sd.Points); i++ {
+			d := sd.Points[i].V - sd.Points[i-1].V
+			if d < 0 {
+				d = sd.Points[i].V
+			}
+			delta += d
+		}
+		byLE[le] += delta
+	}
+	buckets := make([]bucket, 0, len(byLE))
+	total := 0.0
+	for le, delta := range byLE {
+		buckets = append(buckets, bucket{le: le, delta: delta})
+		if math.IsInf(le, 1) {
+			total = delta
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	// Cumulative buckets: each bound's count contains every smaller bound's.
+	// Convert to per-bucket counts for interpolation; clamp the tiny negative
+	// artifacts an unlucky scrape alignment can produce.
+	for i := len(buckets) - 1; i > 0; i-- {
+		buckets[i].delta -= buckets[i-1].delta
+		if buckets[i].delta < 0 {
+			buckets[i].delta = 0
+		}
+	}
+	if total == 0 { // page without an explicit +Inf bucket
+		for _, b := range buckets {
+			total += b.delta
+		}
+	}
+	return buckets, total
+}
+
+// quantileFromBuckets interpolates the q-quantile from per-bucket counts.
+func quantileFromBuckets(buckets []bucket, total, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	cum := 0.0
+	for i, b := range buckets {
+		cum += b.delta
+		if cum < rank || b.delta == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = buckets[i-1].le
+		}
+		hi := b.le
+		if math.IsInf(hi, 1) {
+			// The observation is beyond the last finite bound; the bound
+			// itself is the best (and Prometheus's) answer.
+			return lo
+		}
+		frac := (rank - (cum - b.delta)) / b.delta
+		return lo + (hi-lo)*frac
+	}
+	// rank beyond every bucket (rounding): the largest finite bound.
+	for i := len(buckets) - 1; i >= 0; i-- {
+		if !math.IsInf(buckets[i].le, 1) {
+			return buckets[i].le
+		}
+	}
+	return 0
+}
+
+// parseLE decodes a bucket bound label, accepting the +Inf form.
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}

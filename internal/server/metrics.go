@@ -75,6 +75,7 @@ func newServerMetrics(shard string) *serverMetrics {
 		tickDuration:     reg.Histogram("coflowd_tick_duration_seconds", "scheduler tick duration distribution", nil),
 		traceSpans:       reg.Counter("coflowd_trace_spans_total", "lifecycle trace spans recorded"),
 	}
+	telemetry.RegisterRuntimeCollector(reg)
 	m.up.Set(1)
 	return m
 }

@@ -46,6 +46,16 @@ var coflowdFamilies = []string{
 	"coflowd_trace_spans_total",
 }
 
+// runtimeFamilies is the process-health set RegisterRuntimeCollector adds to
+// every daemon registry.
+var runtimeFamilies = []string{
+	"go_goroutines",
+	"go_heap_bytes",
+	"go_gc_pause_seconds_total",
+	"go_gc_cycles_total",
+	"go_gomaxprocs",
+}
+
 // coflowgateFamilies is the stable /metrics name set of a gateway (the
 // per-backend and per-endpoint vecs appear once a backend or retry exists).
 var coflowgateFamilies = []string{
@@ -136,7 +146,7 @@ func TestCoflowdMetricsConformance(t *testing.T) {
 		s.Close()
 	})
 	m := scrape(t, ts.URL)
-	assertFamilies(t, m, coflowdFamilies, "coflowd")
+	assertFamilies(t, m, append(append([]string{}, coflowdFamilies...), runtimeFamilies...), "coflowd")
 	for _, s := range m.Samples {
 		if len(s.Labels) != 0 {
 			if _, ok := s.Labels["le"]; !ok {
@@ -159,7 +169,7 @@ func TestCoflowgateMetricsConformance(t *testing.T) {
 	}
 	t.Cleanup(l.Close)
 	m := scrape(t, l.URL())
-	assertFamilies(t, m, coflowgateFamilies, "coflowgate")
+	assertFamilies(t, m, append(append([]string{}, coflowgateFamilies...), runtimeFamilies...), "coflowgate")
 	for _, shard := range []string{"shard0", "shard1"} {
 		if s, ok := m.Get("coflowgate_backend_up", "shard", shard); !ok || s.Value != 1 {
 			t.Errorf("coflowgate_backend_up{shard=%q} = %+v, %v", shard, s, ok)

@@ -103,14 +103,14 @@ func parseSample(line string) (Sample, error) {
 	}
 	rest = rest[end:]
 	if rest[0] == '{' {
-		close := strings.Index(rest, "}")
-		if close < 0 {
-			return s, fmt.Errorf("unterminated label block in %q", line)
-		}
-		if err := parseLabels(rest[1:close], s.Labels); err != nil {
+		// The label block must be scanned quote-aware: a label value may
+		// legally contain '}', ',' or '=', so searching for the closing brace
+		// textually would split the block in the wrong place.
+		n, err := parseLabelBlock(rest, s.Labels)
+		if err != nil {
 			return s, err
 		}
-		rest = rest[close+1:]
+		rest = rest[n:]
 	}
 	rest = strings.TrimSpace(rest)
 	if rest == "" {
@@ -129,46 +129,53 @@ func parseSample(line string) (Sample, error) {
 	return s, nil
 }
 
+// parseValue accepts what the exposition format emits: decimal floats plus
+// the literal +Inf/-Inf/NaN forms (strconv also accepts spelling variants
+// like "inf"; samples are produced by machines, so leniency there is safe).
 func parseValue(raw string) (float64, error) {
-	switch raw {
-	case "+Inf":
-		return strconv.ParseFloat("+Inf", 64)
-	case "-Inf":
-		return strconv.ParseFloat("-Inf", 64)
-	case "NaN":
-		return strconv.ParseFloat("NaN", 64)
-	}
 	return strconv.ParseFloat(raw, 64)
 }
 
-// parseLabels parses the inside of a `{...}` block into dst.
-func parseLabels(body string, dst map[string]string) error {
-	rest := body
-	for strings.TrimSpace(rest) != "" {
-		rest = strings.TrimLeft(rest, ", \t")
-		eq := strings.Index(rest, "=")
+// parseLabelBlock parses a `{name="value",...}` block starting at
+// rest[0]=='{' into dst, returning the number of input bytes consumed.
+func parseLabelBlock(rest string, dst map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		// Skip separators and whitespace before a name or the closing brace.
+		for i < len(rest) && (rest[i] == ',' || rest[i] == ' ' || rest[i] == '\t') {
+			i++
+		}
+		if i >= len(rest) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
 		if eq < 0 {
-			return fmt.Errorf("label %q has no value", rest)
+			return 0, fmt.Errorf("label %q has no value", rest[i:])
 		}
-		name := strings.TrimSpace(rest[:eq])
+		name := strings.TrimSpace(rest[i : i+eq])
 		if !validName(name) {
-			return fmt.Errorf("invalid label name %q", name)
+			return 0, fmt.Errorf("invalid label name %q", name)
 		}
-		rest = strings.TrimSpace(rest[eq+1:])
-		if len(rest) == 0 || rest[0] != '"' {
-			return fmt.Errorf("label %q value is not quoted", name)
+		i += eq + 1
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == '\t') {
+			i++
 		}
-		value, n, err := unquoteLabelValue(rest)
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("label %q value is not quoted", name)
+		}
+		value, n, err := unquoteLabelValue(rest[i:])
 		if err != nil {
-			return fmt.Errorf("label %q: %w", name, err)
+			return 0, fmt.Errorf("label %q: %w", name, err)
 		}
 		if _, dup := dst[name]; dup {
-			return fmt.Errorf("label %q repeated", name)
+			return 0, fmt.Errorf("label %q repeated", name)
 		}
 		dst[name] = value
-		rest = rest[n:]
+		i += n
 	}
-	return nil
 }
 
 // unquoteLabelValue decodes one quoted label value starting at rest[0]=='"',

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseMetricsScrapeDuty covers the shapes a scraper meets in the wild:
+// escaped label values, special float values, awkward characters inside
+// quotes, and bucket lines arriving in any order.
+func TestParseMetricsScrapeDuty(t *testing.T) {
+	cases := []struct {
+		name  string
+		text  string
+		check func(t *testing.T, m *Metrics)
+	}{
+		{
+			name: "escaped label values",
+			text: `m_total{a="q\"uote",b="back\\slash",c="new\nline"} 1` + "\n",
+			check: func(t *testing.T, m *Metrics) {
+				s := m.Samples[0]
+				if s.Labels["a"] != `q"uote` || s.Labels["b"] != `back\slash` || s.Labels["c"] != "new\nline" {
+					t.Errorf("escapes decoded wrong: %#v", s.Labels)
+				}
+			},
+		},
+		{
+			name: "label value containing closing brace and comma and equals",
+			text: `m_total{expr="a{b=1,c=2}",other="x"} 3` + "\n",
+			check: func(t *testing.T, m *Metrics) {
+				s := m.Samples[0]
+				if s.Labels["expr"] != "a{b=1,c=2}" || s.Labels["other"] != "x" || s.Value != 3 {
+					t.Errorf("brace-bearing value parsed wrong: %#v", s)
+				}
+			},
+		},
+		{
+			name: "special float values",
+			text: "m_bucket{le=\"+Inf\"} 4\nm_min -Inf\nm_gap NaN\nm_pos +Inf\n",
+			check: func(t *testing.T, m *Metrics) {
+				if v := m.Samples[1].Value; !math.IsInf(v, -1) {
+					t.Errorf("-Inf parsed as %v", v)
+				}
+				if v := m.Samples[2].Value; !math.IsNaN(v) {
+					t.Errorf("NaN parsed as %v", v)
+				}
+				if v := m.Samples[3].Value; !math.IsInf(v, 1) {
+					t.Errorf("+Inf parsed as %v", v)
+				}
+			},
+		},
+		{
+			name: "out of order bucket lines",
+			text: "h_bucket{le=\"1\"} 7\nh_bucket{le=\"+Inf\"} 9\nh_bucket{le=\"0.5\"} 3\nh_sum 12.5\nh_count 9\n",
+			check: func(t *testing.T, m *Metrics) {
+				// The parser records every bucket regardless of order; the
+				// consumer (the monitor's quantile view) sorts by le.
+				les := map[string]float64{}
+				for _, s := range m.Samples {
+					if s.Name == "h_bucket" {
+						les[s.Labels["le"]] = s.Value
+					}
+				}
+				if len(les) != 3 || les["0.5"] != 3 || les["1"] != 7 {
+					t.Errorf("buckets lost in shuffle: %v", les)
+				}
+			},
+		},
+		{
+			name: "scientific notation and whitespace",
+			text: "  m_total{a=\"b\"}   1.5e-3  \nm2 2e+06\n",
+			check: func(t *testing.T, m *Metrics) {
+				if m.Samples[0].Value != 1.5e-3 || m.Samples[1].Value != 2e6 {
+					t.Errorf("float forms parsed wrong: %v %v", m.Samples[0].Value, m.Samples[1].Value)
+				}
+			},
+		},
+		{
+			name: "empty label block",
+			text: "m_total{} 1\n",
+			check: func(t *testing.T, m *Metrics) {
+				if len(m.Samples[0].Labels) != 0 || m.Samples[0].Value != 1 {
+					t.Errorf("empty block parsed wrong: %#v", m.Samples[0])
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := ParseMetrics(tc.text)
+			if err != nil {
+				t.Fatalf("ParseMetrics: %v", err)
+			}
+			tc.check(t, m)
+		})
+	}
+}
+
+func TestParseMetricsRejectsMalformedLabels(t *testing.T) {
+	bad := []string{
+		`m{a="unterminated} 1`,
+		`m{a="dangling\} 1`,
+		`m{a="bad\escape"} 1`,
+		`m{a=unquoted} 1`,
+		`m{a="x",a="y"} 1`,
+		`m{=""} 1`,
+		`m{a="v"`,
+		`m{a="v"} `,
+		`m{a="v"} 1 1234567890`,
+	}
+	for _, text := range bad {
+		if _, err := ParseMetrics(text + "\n"); err == nil {
+			t.Errorf("ParseMetrics(%q) succeeded, want error", text)
+		}
+	}
+}
+
+// realisticScrape renders a registry shaped like a real coflowd page —
+// labeled series, histogram buckets, shard constant labels — and is the fuzz
+// corpus seed closest to production input.
+func realisticScrape() string {
+	r := NewRegistry(Label{Name: "shard", Value: "shard0"})
+	r.Gauge("coflowd_up", "1 while the daemon serves").Set(1)
+	r.Counter("coflowd_epochs_total", "engine advances").Add(41)
+	v := r.CounterVec("coflowd_rpc_total", "per endpoint", "endpoint")
+	v.With("admit").Add(7)
+	v.With(`we"ird\pa}th`).Add(1)
+	h := r.Histogram("coflowd_tick_duration_seconds", "tick durations", nil)
+	for _, x := range []float64{1e-5, 2e-4, 0.3, 7} {
+		h.Observe(x)
+	}
+	return r.Expose()
+}
+
+// FuzzParseMetrics hammers the scrape parser with arbitrary text: it must
+// never panic, and any page it accepts must survive a render-and-reparse
+// round trip with the same series.
+func FuzzParseMetrics(f *testing.F) {
+	f.Add(realisticScrape())
+	f.Add("# HELP a b\n# TYPE a counter\na 1\n")
+	f.Add(`m_total{expr="a{b=1,c=2}",q="a\"b\\c\nd"} +Inf` + "\n")
+	f.Add("h_bucket{le=\"+Inf\"} 9\nh_bucket{le=\"0.5\"} 3\nh_sum NaN\nh_count 9\n")
+	f.Add("m 1 2\nm{a=}")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ParseMetrics(text)
+		if err != nil {
+			return
+		}
+		// Round trip: re-render every accepted sample and reparse. Values can
+		// be NaN (self-unequal), so compare names and labels only.
+		var b strings.Builder
+		for _, s := range m.Samples {
+			var labels []Label
+			for k, v := range s.Labels {
+				labels = append(labels, Label{Name: k, Value: v})
+			}
+			b.WriteString(s.Name + renderLabels(labels) + " " + formatValue(s.Value) + "\n")
+		}
+		m2, err := ParseMetrics(b.String())
+		if err != nil {
+			t.Fatalf("reparse of accepted page failed: %v\npage:\n%s", err, b.String())
+		}
+		if len(m2.Samples) != len(m.Samples) {
+			t.Fatalf("round trip changed sample count %d -> %d", len(m.Samples), len(m2.Samples))
+		}
+		for i, s := range m.Samples {
+			s2 := m2.Samples[i]
+			if s.Name != s2.Name || len(s.Labels) != len(s2.Labels) {
+				t.Fatalf("round trip changed sample %d: %#v -> %#v", i, s, s2)
+			}
+			for k, v := range s.Labels {
+				if s2.Labels[k] != v {
+					t.Fatalf("round trip changed label %q: %q -> %q", k, v, s2.Labels[k])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"runtime"
+)
+
+// RegisterRuntimeCollector adds Go process-health series to a registry:
+// goroutine count, heap bytes, cumulative GC pause seconds, GC cycle count
+// and GOMAXPROCS. Values are read from the runtime at scrape time through an
+// OnScrape hook, so an idle daemon costs nothing between scrapes.
+//
+// Both daemons (coflowd, coflowgate) and coflowmon itself register this, so
+// every /metrics page a monitor scrapes carries the same process-health
+// families out of the box. The names follow the conventional go_* prefix;
+// the registry's constant labels (e.g. {shard="..."}) apply as usual.
+func RegisterRuntimeCollector(r *Registry) {
+	goroutines := r.Gauge("go_goroutines", "goroutines that currently exist")
+	heapBytes := r.Gauge("go_heap_bytes", "heap bytes allocated and still in use")
+	gcPause := r.Counter("go_gc_pause_seconds_total", "cumulative stop-the-world GC pause time")
+	gcCycles := r.Counter("go_gc_cycles_total", "completed GC cycles")
+	maxProcs := r.Gauge("go_gomaxprocs", "GOMAXPROCS setting")
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapBytes.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcCycles.Set(float64(ms.NumGC))
+		maxProcs.Set(float64(runtime.GOMAXPROCS(0)))
+	})
+}
