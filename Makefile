@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-sim bench-cluster
+.PHONY: build test race vet fmt bench bench-sim bench-cluster bench-wal
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,9 @@ bench-sim:
 # BENCH_sim.json (see the Cluster scaling section of EXPERIMENTS.md).
 bench-cluster:
 	scripts/bench_cluster.sh $(LABEL)
+
+# bench-wal appends the WAL admit-path overhead (wal=off vs wal=on, mean and
+# p99) to BENCH_sim.json, held against a ≤5% admit regression budget (see the
+# Durability section of EXPERIMENTS.md). STRICT=1 fails on budget violation.
+bench-wal:
+	scripts/bench_wal.sh $(LABEL)

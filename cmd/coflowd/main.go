@@ -51,6 +51,8 @@ func main() {
 		fatK       = flag.Int("fatk", 4, "fat-tree arity (k=4: 16 servers, k=8: the paper's 128)")
 		candidates = flag.Int("paths", 4, "candidate paths per flow at admission")
 		shard      = flag.String("shard", "", "cluster shard identity: labels every /metrics series with {shard=\"...\"} so gateway-scraped backends stay distinguishable")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory; admissions are fsynced before acking and a restart recovers the engine from snapshot + log")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "engine snapshot period (0 = default 30s with -wal-dir, negative disables)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
@@ -83,13 +85,15 @@ func main() {
 	// and Config defaults, so the base logger carries neither.
 	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLevel(*logLevel), *logFormat, "", "")
 	s, err := server.New(server.Config{
-		Network:        graph.FatTree(*fatK, 1),
-		Policy:         policy,
-		EpochLength:    *epochLen,
-		TimeScale:      *timeScale,
-		CandidatePaths: *candidates,
-		Shard:          *shard,
-		Logger:         logger,
+		Network:          graph.FatTree(*fatK, 1),
+		Policy:           policy,
+		EpochLength:      *epochLen,
+		TimeScale:        *timeScale,
+		CandidatePaths:   *candidates,
+		Shard:            *shard,
+		WALDir:           *walDir,
+		SnapshotInterval: *snapEvery,
+		Logger:           logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coflowd:", err)

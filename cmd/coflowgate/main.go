@@ -79,6 +79,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		epochLen       = fs.Float64("epoch", 2.0, "shard epoch length for -local")
 		timeScale      = fs.Float64("timescale", 1.0, "shard simulated time units per wall second for -local")
 		fatK           = fs.Int("fatk", 4, "shard fat-tree arity for -local")
+		stateDir       = fs.String("state-dir", "", "persist gateway routing state (WAL + snapshots) under this directory; with -local, shards get WALs under it too")
+		snapInterval   = fs.Duration("snapshot-interval", 0, "state snapshot period (0 = default 30s with -state-dir, negative disables)")
 		logLevel       = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat      = fs.String("log-format", "text", "log output format: text or json")
 	)
@@ -94,11 +96,18 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	logger := telemetry.NewLogger(stderr, telemetry.ParseLevel(*logLevel), *logFormat, "", "")
 	gcfg := cluster.Config{
-		Placement:      placement,
-		HealthInterval: *healthInterval,
-		BatchSize:      *batch,
-		BatchInterval:  *batchInterval,
-		Logger:         logger,
+		Placement:        placement,
+		HealthInterval:   *healthInterval,
+		BatchSize:        *batch,
+		BatchInterval:    *batchInterval,
+		SnapshotInterval: *snapInterval,
+		Logger:           logger,
+	}
+	if *stateDir != "" && *local == 0 {
+		// Externally-run coflowds manage their own durability; the gateway
+		// only persists its routing tables here. (-local wires the whole tree
+		// below instead.)
+		gcfg.StateDir = *stateDir
 	}
 
 	var g *cluster.Gateway
@@ -114,13 +123,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			return fmt.Errorf("unknown policy %q (want sebf, fifo, lp)", *policyName)
 		}
 		localCluster, err = cluster.NewLocal(cluster.LocalConfig{
-			Shards:      *local,
-			Policy:      policy,
-			EpochLength: *epochLen,
-			TimeScale:   *timeScale,
-			FatK:        *fatK,
-			Gateway:     gcfg,
-			Logger:      logger,
+			Shards:           *local,
+			Policy:           policy,
+			EpochLength:      *epochLen,
+			TimeScale:        *timeScale,
+			FatK:             *fatK,
+			Gateway:          gcfg,
+			WALDir:           *stateDir,
+			SnapshotInterval: *snapInterval,
+			Logger:           logger,
 		})
 		if err != nil {
 			return err
@@ -129,7 +140,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		g = localCluster.Gateway
 		log.Printf("coflowgate: %d in-process shards (policy %s, k=%d fat-tree each)", *local, *policyName, *fatK)
 	} else {
-		g = cluster.New(gcfg)
+		g, err = cluster.New(gcfg)
+		if err != nil {
+			return err
+		}
 		defer g.Close()
 		for i, url := range strings.Split(*backends, ",") {
 			url = strings.TrimSpace(url)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"coflowsched/internal/coflow"
+	"coflowsched/internal/durable"
 	"coflowsched/internal/online"
 	"coflowsched/internal/server"
 	"coflowsched/internal/telemetry"
@@ -74,6 +75,24 @@ type Config struct {
 	// TraceCapacity bounds the gateway's lifecycle-trace span ring served at
 	// /debug/traces (default telemetry.DefaultTraceCapacity).
 	TraceCapacity int
+	// StateDir, when non-empty, turns on gateway durability: id assignments,
+	// placements and observed completions are written to a write-ahead log
+	// under this directory and a restarted gateway recovers its translation
+	// and placement tables from it before serving. See durable.go.
+	StateDir string
+	// SnapshotInterval is the period between gateway state snapshots, which
+	// bound replay time and let the log prefix be truncated. Only meaningful
+	// with StateDir; defaults to 30s there, negative disables snapshotting.
+	SnapshotInterval time.Duration
+	// SnapshotStore overrides where gateway snapshots are written. Nil
+	// defaults to a local directory store under StateDir/snapshots.
+	SnapshotStore durable.BlobStore
+	// ShardRecovery, when true, declares the backends durable (each coflowd
+	// runs with its own -wal-dir): an ejected backend keeps its placement
+	// bindings instead of having its coflows re-admitted elsewhere, because
+	// the restarted shard will recover them itself. Status calls against a
+	// down shard fail transiently until it returns.
+	ShardRecovery bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = telemetry.LogfLogger(c.Logf) // nil Logf discards
 	}
+	if c.StateDir != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -121,6 +143,11 @@ var errNoBackend = errors.New("cluster: no healthy backend available")
 // errNoFlows rejects structurally empty coflows at the gateway, before any
 // shard is bothered.
 var errNoFlows = errors.New("cluster: coflow has no flows")
+
+// errDurable rejects admissions the gateway cannot make durable: the WAL is
+// failing, and acknowledging an id that would not survive a restart breaks
+// the recovery contract.
+var errDurable = errors.New("cluster: durability failure")
 
 // Backend is one coflowd shard as the gateway sees it. All mutable fields
 // are guarded by the gateway mutex; the client is immutable and used outside
@@ -167,6 +194,9 @@ type routed struct {
 	trace    string  // lifecycle trace id, propagated to the owning shard
 	admitted bool
 	failed   bool // admission failed terminally (validation, or initial 503)
+	// pendingBackend names the shard a WAL-recovered placement points at; the
+	// binding is re-established when that backend is registered (AddBackend).
+	pendingBackend string
 	// orphaned marks an acknowledged coflow detached by an ejection and not
 	// yet re-placed; if no backend is healthy at failover time it stays set,
 	// and the next backend recovery re-places it (applyProbe).
@@ -202,12 +232,26 @@ type Gateway struct {
 	wg        sync.WaitGroup
 
 	sweeping atomic.Bool
+
+	// Durability (nil/zero without Config.StateDir). instance is always
+	// minted: it scopes the idempotency keys the gateway sends shards, so two
+	// gateway incarnations never collide on a key. walFailed is guarded by mu.
+	wal       *durable.Log
+	store     durable.BlobStore
+	walOnce   sync.Once
+	instance  string
+	recovered int
+	walFailed bool
+
+	snapshotting atomic.Bool
 }
 
 // New builds and starts a gateway: the admit batcher and the health prober
 // begin immediately. Callers must Close it. Backends are added with
-// AddBackend.
-func New(cfg Config) *Gateway {
+// AddBackend. With Config.StateDir, the gateway first recovers its id and
+// placement tables from the directory's snapshot + WAL; an untrustworthy log
+// fails the boot.
+func New(cfg Config) (*Gateway, error) {
 	cfg = cfg.withDefaults()
 	g := &Gateway{
 		cfg:     cfg,
@@ -218,21 +262,46 @@ func New(cfg Config) *Gateway {
 		queue:   make(chan admitItem),
 		quit:    make(chan struct{}),
 	}
+	if cfg.StateDir != "" {
+		if err := g.recoverGateway(); err != nil {
+			return nil, err
+		}
+	} else {
+		g.instance = telemetry.NewTraceID()
+	}
 	g.wg.Add(2)
 	go g.batcher()
 	go g.healthLoop()
-	return g
+	return g, nil
 }
 
 // Tracer exposes the gateway's lifecycle-span ring (tests join it against the
 // shards').
 func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
 
-// Close stops the gateway's goroutines. In-flight admissions fail with a
-// closed error. Safe to call more than once.
+// Close stops the gateway's goroutines and fsync-closes the WAL. In-flight
+// admissions fail with a closed error. Safe to call more than once.
 func (g *Gateway) Close() {
 	g.closeOnce.Do(func() { close(g.quit) })
 	g.wg.Wait()
+	if g.wal != nil {
+		g.walOnce.Do(func() {
+			if err := g.wal.Close(); err != nil {
+				g.logger.Error("wal close failed", "err", err)
+			}
+		})
+	}
+}
+
+// Kill stops the gateway the way a crash would: no final fsync. Everything
+// not yet group-committed is abandoned to the page cache. Tests use it to
+// exercise the recovery path; production shutdown is Close.
+func (g *Gateway) Kill() {
+	g.closeOnce.Do(func() { close(g.quit) })
+	g.wg.Wait()
+	if g.wal != nil {
+		g.walOnce.Do(g.wal.Abandon)
+	}
 }
 
 // newBackendClient builds the hardened client the gateway talks to one shard
@@ -262,13 +331,45 @@ func (g *Gateway) AddBackend(name, url string) error {
 		local:   make(map[int]int),
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for _, have := range g.backends {
 		if have.name == name {
+			g.mu.Unlock()
 			return fmt.Errorf("cluster: backend %q already registered", name)
 		}
 	}
 	g.backends = append(g.backends, b)
+	// Re-attach WAL-recovered placements that name this shard. With durable
+	// backends (ShardRecovery) the shard recovers the coflows itself, so the
+	// old local ids stay valid and the binding is simply restored; with
+	// stateless backends the coflows restart from zero — they are detached
+	// for re-admission like any other orphan.
+	relinked := 0
+	for gid, rc := range g.coflows {
+		if rc.pendingBackend != name || rc.done || rc.failed {
+			continue
+		}
+		rc.pendingBackend = ""
+		if g.cfg.ShardRecovery {
+			rc.backend = b
+			rc.admitted = true
+			rc.orphaned = false
+			b.local[rc.localID] = gid
+			b.outstanding++
+			relinked++
+		} else {
+			rc.orphaned = true
+		}
+	}
+	// A fresh backend is also the retry trigger for anything already orphaned
+	// (recovered-but-unplaced coflows, or strandings from a total outage).
+	stranded := g.orphansLocked()
+	g.mu.Unlock()
+	if relinked > 0 {
+		g.logger.Info("re-linked recovered placements", "backend", name, "coflows", relinked)
+	}
+	if len(stranded) > 0 {
+		go g.readmitOrphans(stranded)
+	}
 	return nil
 }
 
@@ -344,7 +445,24 @@ func (g *Gateway) AdmitTraced(cf coflow.Coflow, trace string) (server.AdmitRespo
 	gid := len(g.coflows)
 	rc := &routed{spec: cf, trace: trace}
 	g.coflows = append(g.coflows, rc)
+	var seq uint64
+	var walErr error
+	if g.wal != nil {
+		// Appended while mu is held so record order matches gid order; the
+		// fsync wait happens after unlock and shares the group commit.
+		seq, walErr = g.walAppendLocked(&durable.Record{Type: durable.RecGatewayAdmit,
+			GatewayAdmit: &durable.GatewayAdmitRecord{GID: gid, Trace: trace, Spec: cf}})
+	}
 	g.mu.Unlock()
+	if walErr == nil && seq > 0 {
+		walErr = g.wal.Commit(seq)
+	}
+	if walErr != nil {
+		g.mu.Lock()
+		rc.failed = true
+		g.mu.Unlock()
+		return server.AdmitResponse{}, fmt.Errorf("%w: %v", errDurable, walErr)
+	}
 
 	item := admitItem{gid: gid, enqueued: t0, done: make(chan error, 1)}
 	select {
@@ -469,7 +587,11 @@ func (g *Gateway) place(gid int, initial bool) error {
 			g.mu.Unlock()
 		}
 		t0 := time.Now()
-		resp, err := b.client.AdmitTraced(spec, trace)
+		// The idempotency key is stable per gateway id (scoped by the instance
+		// nonce): a retried or replayed placement on a shard that already
+		// admitted this coflow gets the original admission back instead of a
+		// duplicate.
+		resp, err := b.client.AdmitWithKey(spec, trace, g.placementKey(gid))
 		span := telemetry.Span{
 			Name: "placement", Trace: trace, Coflow: gid,
 			Duration: time.Since(t0).Seconds(),
@@ -520,9 +642,31 @@ func (g *Gateway) place(gid int, initial bool) error {
 		rc.admitted = true
 		rc.orphaned = false
 		b.local[resp.ID] = gid
+		var seq uint64
+		var walErr error
+		if g.wal != nil {
+			seq, walErr = g.walAppendLocked(&durable.Record{Type: durable.RecGatewayPlace,
+				GatewayPlace: &durable.GatewayPlaceRecord{GID: gid, Backend: b.name, LocalID: resp.ID, Arrival: resp.Arrival}})
+		}
 		g.mu.Unlock()
+		if walErr == nil && seq > 0 {
+			// A lost placement record is recoverable (the coflow re-places
+			// under the same idempotency key), but committing here keeps the
+			// table durable before the client's 201 goes out.
+			walErr = g.wal.Commit(seq)
+		}
+		if walErr != nil && initial {
+			return fmt.Errorf("%w: %v", errDurable, walErr)
+		}
 		return nil
 	}
+}
+
+// placementKey is the idempotency key the gateway admits gid to a shard
+// under: stable across retries and gateway restarts of one instance,
+// distinct across instances.
+func (g *Gateway) placementKey(gid int) string {
+	return g.instance + "-" + strconv.Itoa(gid)
 }
 
 // terminalStatus reports whether a shard response code means the request
@@ -568,6 +712,12 @@ func (g *Gateway) ejectLocked(b *Backend) []int {
 	b.backoff = g.cfg.HealthInterval
 	b.nextProbe = time.Now().Add(b.backoff)
 	b.ejections++
+	if g.cfg.ShardRecovery {
+		// Durable backends recover their own coflows on restart, so the
+		// placement bindings stay put; detaching them here would re-admit
+		// coflows the shard is about to resurrect.
+		return nil
+	}
 	var orphans []int
 	for _, gid := range b.local {
 		rc := g.coflows[gid]
@@ -625,12 +775,17 @@ func (g *Gateway) healthLoop() {
 	defer g.wg.Done()
 	t := time.NewTicker(g.cfg.HealthInterval)
 	defer t.Stop()
+	lastSnap := time.Now()
 	for {
 		select {
 		case <-g.quit:
 			return
 		case <-t.C:
 			g.probeAll()
+			if g.wal != nil && g.cfg.SnapshotInterval > 0 && time.Since(lastSnap) >= g.cfg.SnapshotInterval {
+				lastSnap = time.Now()
+				g.maybeSnapshotGateway()
+			}
 			// The sweep does per-coflow HTTP and can be slow against a
 			// wedged shard; it must never hold up the next probe tick, so
 			// it runs detached with at most one sweep in flight.
@@ -800,6 +955,7 @@ func (g *Gateway) Status(gid int) (server.CoflowResponse, bool, error) {
 		if b.outstanding > 0 {
 			b.outstanding--
 		}
+		g.logDoneLocked(gid, st)
 		// The spec's flows are no longer needed for failover; let them go.
 		rc.spec = coflow.Coflow{Name: rc.spec.Name, Weight: rc.spec.Weight}
 	}

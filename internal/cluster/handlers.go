@@ -75,8 +75,11 @@ func (g *Gateway) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	resp, err := g.AdmitTraced(cf, r.Header.Get(telemetry.TraceHeader))
 	switch {
 	case err == nil:
+		// The gateway coflow id doubles as the retry-dedupe handle on the
+		// shards, echoed the same way coflowd echoes its idempotency keys.
+		w.Header().Set(server.IdemHeader, strconv.Itoa(resp.ID))
 		server.RespondJSON(w, http.StatusCreated, resp)
-	case errors.Is(err, errClosed), errors.Is(err, errNoBackend):
+	case errors.Is(err, errClosed), errors.Is(err, errNoBackend), errors.Is(err, errDurable):
 		server.RespondError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, errNoFlows):
 		server.RespondError(w, http.StatusBadRequest, err.Error())

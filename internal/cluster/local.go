@@ -5,7 +5,9 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"coflowsched/internal/graph"
 	"coflowsched/internal/monitor"
@@ -31,6 +33,16 @@ type LocalConfig struct {
 	CandidatePaths int
 	// Gateway configures the front door.
 	Gateway Config
+	// WALDir, when non-empty, makes the whole cluster durable: each shard
+	// writes its WAL under WALDir/shardN, the gateway persists its routing
+	// tables under WALDir/gateway, and Gateway.ShardRecovery is switched on so
+	// a crash-killed shard restarted with Restart re-syncs from its own log
+	// instead of being re-admitted from gateway memory.
+	WALDir string
+	// SnapshotInterval is handed to every shard and the gateway (zero keeps
+	// their defaults, negative disables snapshotting). Only meaningful with
+	// WALDir.
+	SnapshotInterval time.Duration
 	// Monitor, when non-nil, embeds a coflowmon monitor watching the whole
 	// cluster: its DiscoverURL is wired to the gateway automatically, so it
 	// scrapes the gateway and every shard and evaluates SLO rules (nil Rules
@@ -65,6 +77,15 @@ func (c LocalConfig) withDefaults() (LocalConfig, error) {
 	}
 	if c.Logf != nil && c.Gateway.Logf == nil {
 		c.Gateway.Logf = c.Logf
+	}
+	if c.WALDir != "" {
+		if c.Gateway.StateDir == "" {
+			c.Gateway.StateDir = filepath.Join(c.WALDir, "gateway")
+		}
+		if c.Gateway.SnapshotInterval == 0 {
+			c.Gateway.SnapshotInterval = c.SnapshotInterval
+		}
+		c.Gateway.ShardRecovery = true
 	}
 	return c, nil
 }
@@ -110,6 +131,11 @@ type Local struct {
 	http        *httptest.Server
 	monitorHTTP *httptest.Server
 	shards      []*localShard
+
+	// gmu guards the handler indirection that lets RestartGateway swap in a
+	// fresh gateway while the listener URL stays the same.
+	gmu            sync.Mutex
+	gatewayHandler http.Handler
 }
 
 // NewLocal builds and starts an in-process cluster of cfg.Shards coflowd
@@ -119,7 +145,11 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Local{cfg: cfg, Gateway: New(cfg.Gateway)}
+	g, err := New(cfg.Gateway)
+	if err != nil {
+		return nil, err
+	}
+	l := &Local{cfg: cfg, Gateway: g}
 	for i := 0; i < cfg.Shards; i++ {
 		name := fmt.Sprintf("shard%d", i)
 		scfg := server.Config{
@@ -131,6 +161,10 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 			Shard:          name,
 			Logger:         cfg.Logger,
 			Logf:           cfg.Logf,
+		}
+		if cfg.WALDir != "" {
+			scfg.WALDir = filepath.Join(cfg.WALDir, name)
+			scfg.SnapshotInterval = cfg.SnapshotInterval
 		}
 		srv, err := server.New(scfg)
 		if err != nil {
@@ -145,7 +179,8 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 			return nil, err
 		}
 	}
-	l.http = httptest.NewServer(l.Gateway.Handler())
+	l.gatewayHandler = l.Gateway.Handler()
+	l.http = httptest.NewServer(http.HandlerFunc(l.serveGateway))
 	if cfg.Monitor != nil {
 		mcfg := *cfg.Monitor
 		mcfg.DiscoverURL = l.http.URL
@@ -165,6 +200,15 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 		l.monitorHTTP = httptest.NewServer(m.Handler())
 	}
 	return l, nil
+}
+
+// serveGateway forwards to whichever gateway incarnation currently fronts
+// the cluster.
+func (l *Local) serveGateway(w http.ResponseWriter, r *http.Request) {
+	l.gmu.Lock()
+	h := l.gatewayHandler
+	l.gmu.Unlock()
+	h.ServeHTTP(w, r)
 }
 
 // URL is the gateway's base URL.
@@ -203,9 +247,30 @@ func (l *Local) Kill(i int) {
 	}
 }
 
-// Revive restarts shard i as a fresh, empty daemon at the same URL — the
-// crashed process coming back. The gateway re-admits it to the placement
-// rotation at its next successful probe.
+// CrashKill stops shard i the way SIGKILL would: the scheduler dies with no
+// drain and no final WAL fsync, and the listener answers 503 until Restart.
+// Without a WALDir this is equivalent to Kill.
+func (l *Local) CrashKill(i int) {
+	sh := l.shards[i]
+	sh.mu.Lock()
+	old := sh.srv
+	sh.srv, sh.handler, sh.down = nil, nil, true
+	sh.mu.Unlock()
+	if old != nil {
+		old.Kill()
+	}
+}
+
+// Restart boots shard i again at the same URL against its original config.
+// With a WALDir the new daemon recovers the old one's coflows from its log
+// before serving; without one it comes back empty (Revive's historical
+// behavior — the two are aliases).
+func (l *Local) Restart(i int) error { return l.Revive(i) }
+
+// Revive restarts shard i at the same URL — the crashed process coming back.
+// The daemon is fresh and empty unless the cluster runs with a WALDir, in
+// which case it recovers its pre-crash state first. The gateway re-admits it
+// to the placement rotation at its next successful probe.
 func (l *Local) Revive(i int) error {
 	sh := l.shards[i]
 	srv, err := server.New(sh.scfg)
@@ -215,6 +280,32 @@ func (l *Local) Revive(i int) error {
 	sh.mu.Lock()
 	sh.srv, sh.handler, sh.down = srv, srv.Handler(), false
 	sh.mu.Unlock()
+	return nil
+}
+
+// RestartGateway crash-kills the gateway and boots a replacement from the
+// persisted routing state, re-registering every shard listener. The cluster
+// URL stays the same; callers should re-read l.Gateway afterwards. Requires a
+// durable gateway (LocalConfig.WALDir or Gateway.StateDir).
+func (l *Local) RestartGateway() error {
+	if l.cfg.Gateway.StateDir == "" {
+		return fmt.Errorf("cluster: restarting the gateway needs a persistent Gateway.StateDir")
+	}
+	l.Gateway.Kill()
+	g, err := New(l.cfg.Gateway)
+	if err != nil {
+		return fmt.Errorf("cluster: restarting gateway: %w", err)
+	}
+	for _, sh := range l.shards {
+		if err := g.AddBackend(sh.name, sh.ts.URL); err != nil {
+			g.Close()
+			return fmt.Errorf("cluster: re-registering %s: %w", sh.name, err)
+		}
+	}
+	l.gmu.Lock()
+	l.Gateway = g
+	l.gatewayHandler = g.Handler()
+	l.gmu.Unlock()
 	return nil
 }
 

@@ -28,6 +28,10 @@ type gateMetrics struct {
 	clientRetries   *telemetry.CounterVec
 	admitSeconds    *telemetry.Histogram
 	traceSpans      *telemetry.Counter
+	walRecords      *telemetry.Counter
+	walFsyncs       *telemetry.Counter
+	walRecovered    *telemetry.Gauge
+	snapshots       *telemetry.Counter
 }
 
 func newGateMetrics() *gateMetrics {
@@ -48,6 +52,10 @@ func newGateMetrics() *gateMetrics {
 		clientRetries:   reg.CounterVec("coflowgate_client_retries_total", "backend requests retried after a transient failure", "endpoint"),
 		admitSeconds:    reg.Histogram("coflowgate_admit_seconds", "gateway admission latency (queue wait + shard round trip)", nil),
 		traceSpans:      reg.Counter("coflowgate_trace_spans_total", "lifecycle trace spans recorded"),
+		walRecords:      reg.Counter("coflowgate_wal_records_total", "records appended to the gateway write-ahead log"),
+		walFsyncs:       reg.Counter("coflowgate_wal_fsyncs_total", "group commits fsynced to the gateway write-ahead log"),
+		walRecovered:    reg.Gauge("coflowgate_wal_recovered_coflows", "in-flight coflows restored from snapshot + WAL at the last boot"),
+		snapshots:       reg.Counter("coflowgate_snapshots_total", "gateway state snapshots written"),
 	}
 	telemetry.RegisterRuntimeCollector(reg)
 	m.up.Set(1)
@@ -79,5 +87,11 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.metrics.updateRoster(g.CountersSnapshot(), g.Backends())
 	spans, _ := g.tracer.Totals()
 	g.metrics.traceSpans.Set(float64(spans))
+	if g.wal != nil {
+		appends, syncs := g.wal.Stats()
+		g.metrics.walRecords.Set(float64(appends))
+		g.metrics.walFsyncs.Set(float64(syncs))
+	}
+	g.metrics.walRecovered.Set(float64(g.recovered))
 	g.metrics.reg.Handler().ServeHTTP(w, r)
 }

@@ -1,0 +1,156 @@
+package durable
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BlobStore is where snapshots live. The signature is S3-shaped — keyed
+// objects, streamed bodies, prefix listing, context plumbed through — so a
+// deployment can ship snapshots to an object store by implementing these four
+// methods over its SDK; DirStore is the local-filesystem implementation the
+// daemons default to.
+//
+// Put must be atomic: a reader must never observe a partially written object
+// (DirStore gets this from write-to-temp + rename). List returns keys in
+// lexicographic order.
+type BlobStore interface {
+	Put(ctx context.Context, key string, body io.Reader) error
+	Get(ctx context.Context, key string) (io.ReadCloser, error)
+	List(ctx context.Context, prefix string) ([]string, error)
+	Delete(ctx context.Context, key string) error
+}
+
+// DirStore is a BlobStore over one local directory. Keys may contain '/'
+// separators, which map to subdirectories.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{root: root}, nil
+}
+
+// keyPath validates a key and resolves it under the root. Rejects anything
+// that could escape the directory.
+func (d *DirStore) keyPath(key string) (string, error) {
+	if key == "" || strings.HasPrefix(key, "/") || strings.Contains(key, "\\") {
+		return "", fmt.Errorf("durable: invalid blob key %q", key)
+	}
+	clean := filepath.Clean(filepath.FromSlash(key))
+	if clean == "." || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("durable: invalid blob key %q", key)
+	}
+	return filepath.Join(d.root, clean), nil
+}
+
+// Put writes the object atomically: the body streams into a temporary file
+// that is fsynced and renamed into place, so a crash mid-write leaves no
+// partially visible object and a concurrent Get sees either the old object or
+// the new one.
+func (d *DirStore) Put(ctx context.Context, key string, body io.Reader) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	path, err := d.keyPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := io.Copy(tmp, body); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Get opens the object for reading.
+func (d *DirStore) Get(ctx context.Context, key string) (io.ReadCloser, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	path, err := d.keyPath(key)
+	if err != nil {
+		return nil, err
+	}
+	return os.Open(path)
+}
+
+// List returns every key under prefix, sorted. Temporary files from
+// in-flight Puts are invisible.
+func (d *DirStore) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var keys []string
+	err := filepath.WalkDir(d.root, func(path string, entry os.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(entry.Name(), ".put-") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete removes the object; deleting a missing key is not an error (matching
+// object-store semantics).
+func (d *DirStore) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	path, err := d.keyPath(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"coflowsched/internal/coflow"
+)
+
+// RecordType discriminates WAL records. coflowd writes the engine-side types
+// (admit / order / advance / complete); coflowgate writes the gw-* types. Both
+// daemons share one frame format and one replay scanner, so the fuzz target
+// and the corruption rules cover every record the system persists.
+type RecordType string
+
+const (
+	// RecAdmit logs one coflow admission: the spec exactly as it arrived on
+	// the wire (flow releases still offsets) plus the engine clock it was
+	// admitted at. Replaying admissions in sequence reproduces the engine's
+	// causal routing exactly, because route selection depends only on the
+	// monotonically accumulated admitted load.
+	RecAdmit RecordType = "admit"
+	// RecOrder logs one applied priority decision at the engine clock Now;
+	// replay advances to Now and re-applies the refs.
+	RecOrder RecordType = "order"
+	// RecAdvance logs one clock advance. Decide=true means a synchronous
+	// decide ran immediately before the advance (the deterministic-harness
+	// op); Decide=false is a plain server tick.
+	RecAdvance RecordType = "advance"
+	// RecComplete logs a coflow completion. Informational: replay derives
+	// completions from re-simulation, but the record makes the log greppable
+	// and gives recovery a cross-check.
+	RecComplete RecordType = "complete"
+	// RecGatewayMeta identifies a gateway WAL: the instance nonce that scopes
+	// idempotency keys. Written once, first record of a fresh log.
+	RecGatewayMeta RecordType = "gw-meta"
+	// RecGatewayAdmit logs a gateway id assignment (id-translation table).
+	RecGatewayAdmit RecordType = "gw-admit"
+	// RecGatewayPlace logs a placement: gateway id -> backend + local id
+	// (placement table). Re-placements append a new record; last one wins.
+	RecGatewayPlace RecordType = "gw-place"
+	// RecGatewayDone logs an observed completion with the final status body.
+	RecGatewayDone RecordType = "gw-done"
+)
+
+// Record is the WAL envelope: a sequence number, a type tag, and exactly one
+// populated payload field matching the type.
+type Record struct {
+	Seq  uint64     `json:"seq"`
+	Type RecordType `json:"type"`
+
+	Admit    *AdmitRecord    `json:"admit,omitempty"`
+	Order    *OrderRecord    `json:"order,omitempty"`
+	Advance  *AdvanceRecord  `json:"advance,omitempty"`
+	Complete *CompleteRecord `json:"complete,omitempty"`
+
+	GatewayMeta  *GatewayMetaRecord  `json:"gw_meta,omitempty"`
+	GatewayAdmit *GatewayAdmitRecord `json:"gw_admit,omitempty"`
+	GatewayPlace *GatewayPlaceRecord `json:"gw_place,omitempty"`
+	GatewayDone  *GatewayDoneRecord  `json:"gw_done,omitempty"`
+}
+
+// AdmitRecord is one engine admission.
+type AdmitRecord struct {
+	// ID is the engine-assigned coflow id; replay asserts the re-admission
+	// lands on the same id (a mismatch means the log is not a prefix of the
+	// engine's history).
+	ID int `json:"id"`
+	// Now is the engine clock at admission.
+	Now float64 `json:"now"`
+	// Key is the idempotency key (X-Coflow-Id), empty if none was sent.
+	Key string `json:"key,omitempty"`
+	// Trace is the lifecycle trace id.
+	Trace string `json:"trace,omitempty"`
+	// Spec is the wire-form coflow (flow releases are offsets from Now).
+	Spec coflow.Coflow `json:"spec"`
+}
+
+// OrderRecord is one applied priority order.
+type OrderRecord struct {
+	// Now is the engine clock the order was applied at.
+	Now float64 `json:"now"`
+	// LatencySecs is the decide wall latency, preserved so replay reproduces
+	// the solve-latency reservoir.
+	LatencySecs float64 `json:"latency_secs"`
+	// Refs is the order exactly as handed to ApplyOrder (pre-filtering);
+	// replay re-filters against the rebuilt simulator state identically.
+	Refs []coflow.FlowRef `json:"refs"`
+}
+
+// AdvanceRecord is one clock advance.
+type AdvanceRecord struct {
+	Now    float64 `json:"now"`
+	Decide bool    `json:"decide,omitempty"`
+}
+
+// CompleteRecord is one coflow completion.
+type CompleteRecord struct {
+	ID   int     `json:"id"`
+	Time float64 `json:"time"`
+}
+
+// GatewayMetaRecord identifies a gateway log.
+type GatewayMetaRecord struct {
+	// Instance is a random nonce minted when the log is created; it prefixes
+	// idempotency keys so a gateway restarted against a fresh state dir never
+	// collides with keys an earlier incarnation already used on the shards.
+	Instance string `json:"instance"`
+}
+
+// GatewayAdmitRecord is one gateway id assignment.
+type GatewayAdmitRecord struct {
+	GID   int           `json:"gid"`
+	Trace string        `json:"trace,omitempty"`
+	Spec  coflow.Coflow `json:"spec"`
+}
+
+// GatewayPlaceRecord is one placement (or re-placement) of a gateway coflow.
+type GatewayPlaceRecord struct {
+	GID     int     `json:"gid"`
+	Backend string  `json:"backend"`
+	LocalID int     `json:"local_id"`
+	Arrival float64 `json:"arrival"`
+}
+
+// GatewayDoneRecord is one observed completion. Final carries the cached
+// server.CoflowResponse as raw JSON (durable cannot import server).
+type GatewayDoneRecord struct {
+	GID   int             `json:"gid"`
+	Final json.RawMessage `json:"final,omitempty"`
+}
+
+// payloadCount returns how many payload fields are populated.
+func (r *Record) payloadCount() int {
+	n := 0
+	for _, set := range []bool{
+		r.Admit != nil, r.Order != nil, r.Advance != nil, r.Complete != nil,
+		r.GatewayMeta != nil, r.GatewayAdmit != nil, r.GatewayPlace != nil, r.GatewayDone != nil,
+	} {
+		if set {
+			n++
+		}
+	}
+	return n
+}
+
+// validate rejects structurally broken records: an envelope must carry exactly
+// the payload its type names. Replay treats a violation as corruption — a
+// CRC-valid frame holding a half-written or mistyped record must never be
+// applied.
+func (r *Record) validate() error {
+	if r.payloadCount() != 1 {
+		return fmt.Errorf("record %d: %d payloads populated, want exactly 1", r.Seq, r.payloadCount())
+	}
+	ok := false
+	switch r.Type {
+	case RecAdmit:
+		ok = r.Admit != nil
+	case RecOrder:
+		ok = r.Order != nil
+	case RecAdvance:
+		ok = r.Advance != nil
+	case RecComplete:
+		ok = r.Complete != nil
+	case RecGatewayMeta:
+		ok = r.GatewayMeta != nil
+	case RecGatewayAdmit:
+		ok = r.GatewayAdmit != nil
+	case RecGatewayPlace:
+		ok = r.GatewayPlace != nil
+	case RecGatewayDone:
+		ok = r.GatewayDone != nil
+	default:
+		return fmt.Errorf("record %d: unknown type %q", r.Seq, r.Type)
+	}
+	if !ok {
+		return fmt.Errorf("record %d: type %q does not match populated payload", r.Seq, r.Type)
+	}
+	return nil
+}

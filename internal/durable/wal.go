@@ -1,0 +1,524 @@
+// Package durable is the persistence layer under coflowd and coflowgate: a
+// length-prefixed, CRC-checksummed write-ahead log with group-commit fsync
+// batching and segment rotation, periodic snapshots written through a
+// pluggable BlobStore, and a replay scanner that distinguishes a torn final
+// record (the tolerated artifact of a crash mid-write) from mid-log
+// corruption (fail loudly, never mis-replay).
+//
+// Frame format, little-endian:
+//
+//	uint32 payload length | uint32 CRC-32C (Castagnoli) of payload | payload
+//
+// The payload is one JSON-encoded Record carrying a sequence number; sequence
+// numbers are contiguous across the whole log. Segment files are named
+// wal-<first seq>.seg and rotate at SegmentBytes; snapshots record the last
+// sequence they cover, and TruncateBefore deletes whole segments the newest
+// snapshot has superseded.
+//
+// Durability contract: Append writes into the OS page cache; Commit(seq)
+// blocks until everything through seq is fsynced. Concurrent committers share
+// one fsync (group commit) — that batching is what keeps the admit path's p99
+// within budget with durability on. A failed fsync is sticky and fails every
+// later Append/Commit: a log that cannot persist must fail loudly, not
+// acknowledge writes it may be losing.
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrCorrupt reports a WAL that cannot be trusted: a CRC mismatch, an invalid
+// record, a sequence discontinuity, or a tear anywhere but the final record
+// of the final segment. Recovery must stop — replaying past corruption would
+// silently rebuild the wrong state.
+var ErrCorrupt = errors.New("durable: corrupt wal")
+
+// errLogClosed fails operations on a closed (or abandoned) log.
+var errLogClosed = errors.New("durable: log closed")
+
+const (
+	// frameHeader is the fixed per-record framing overhead.
+	frameHeader = 8
+	// MaxRecordBytes bounds a single record payload. Larger than any
+	// legitimate record (admission bodies are capped well below this), small
+	// enough that a corrupted length field cannot drive a giant allocation.
+	MaxRecordBytes = 16 << 20
+	// DefaultSegmentBytes is the rotation threshold.
+	DefaultSegmentBytes = 8 << 20
+
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the current one reaches
+	// this size (default DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// segment is one on-disk log file: records [start, next segment's start).
+type segment struct {
+	start uint64
+	path  string
+}
+
+func segmentPath(dir string, start uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", segPrefix, start, segSuffix))
+}
+
+// listSegments returns the directory's segments sorted by starting sequence.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numPart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		start, err := strconv.ParseUint(numPart, 10, 64)
+		if err != nil || start == 0 {
+			return nil, fmt.Errorf("%w: segment file %q has an unparseable sequence", ErrCorrupt, name)
+		}
+		segs = append(segs, segment{start: start, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].start == segs[i-1].start {
+			return nil, fmt.Errorf("%w: duplicate segment start %d", ErrCorrupt, segs[i].start)
+		}
+	}
+	return segs, nil
+}
+
+// AppendFrame encodes one payload as a frame onto buf and returns the
+// extended slice. Exported for tests and corpus generation.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// DecodeSegment scans one segment's bytes and returns the valid record
+// prefix, the byte offset where scanning stopped, and an error when the
+// remainder is not a simple torn tail.
+//
+// Classification — the invariant FuzzWALDecode pins:
+//   - clean end (off == len(data)): every byte decoded.
+//   - torn tail (err == nil, off < len(data)): the remaining bytes are too
+//     short to hold the frame the length header claims — the artifact of a
+//     crash mid-write. Tolerated only in the final segment.
+//   - corrupt (err wraps ErrCorrupt): oversized length, CRC mismatch, JSON
+//     that does not decode, a structurally invalid record, or a sequence that
+//     is not the predecessor's +1. Never tolerated.
+//
+// firstSeq > 0 additionally pins the first record's sequence (segment files
+// name the sequence they must start at).
+func DecodeSegment(data []byte, firstSeq uint64) ([]*Record, int, error) {
+	var recs []*Record
+	off := 0
+	expect := firstSeq
+	for {
+		if len(data)-off < frameHeader {
+			if off == len(data) {
+				return recs, off, nil // clean end
+			}
+			return recs, off, nil // torn header
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		if length == 0 || length > MaxRecordBytes {
+			return recs, off, fmt.Errorf("%w: frame at offset %d claims %d payload bytes", ErrCorrupt, off, length)
+		}
+		if len(data)-off-frameHeader < int(length) {
+			return recs, off, nil // torn payload
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(length)]
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return recs, off, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec := new(Record)
+		dec := json.NewDecoder(bytes.NewReader(payload))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(rec); err != nil {
+			return recs, off, fmt.Errorf("%w: undecodable record at offset %d: %v", ErrCorrupt, off, err)
+		}
+		if err := rec.validate(); err != nil {
+			return recs, off, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if expect != 0 && rec.Seq != expect {
+			return recs, off, fmt.Errorf("%w: record at offset %d has seq %d, want %d", ErrCorrupt, off, rec.Seq, expect)
+		}
+		expect = rec.Seq + 1
+		recs = append(recs, rec)
+		off += frameHeader + int(length)
+	}
+}
+
+// Replay streams every record with sequence >= from to fn, in order. A torn
+// final record in the final segment is tolerated (the scan stops there);
+// anything else inconsistent returns ErrCorrupt. It returns the last sequence
+// delivered (0 if none). The log must not be open for appending concurrently.
+func Replay(dir string, from uint64, fn func(*Record) error) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(segs) > 0 && from > 0 && segs[0].start > from {
+		return 0, fmt.Errorf("%w: records %d..%d are missing (first segment starts at %d)",
+			ErrCorrupt, from, segs[0].start-1, segs[0].start)
+	}
+	var last uint64
+	for i, seg := range segs {
+		if i > 0 && seg.start != last+1 && last != 0 {
+			return last, fmt.Errorf("%w: segment %s starts at %d, want %d", ErrCorrupt, filepath.Base(seg.path), seg.start, last+1)
+		}
+		// A whole segment below the floor can be skipped without reading —
+		// its record range is [seg.start, next.start).
+		if i+1 < len(segs) && segs[i+1].start <= from {
+			last = segs[i+1].start - 1
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return last, err
+		}
+		recs, off, derr := DecodeSegment(data, seg.start)
+		if derr != nil {
+			return last, fmt.Errorf("replaying %s: %w", filepath.Base(seg.path), derr)
+		}
+		if off < len(data) && i != len(segs)-1 {
+			return last, fmt.Errorf("%w: torn record inside non-final segment %s", ErrCorrupt, filepath.Base(seg.path))
+		}
+		for _, rec := range recs {
+			last = rec.Seq
+			if rec.Seq < from {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return last, err
+			}
+		}
+		if len(recs) == 0 && i != len(segs)-1 {
+			return last, fmt.Errorf("%w: empty non-final segment %s", ErrCorrupt, filepath.Base(seg.path))
+		}
+	}
+	return last, nil
+}
+
+// Log is an append-only write-ahead log over one directory.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when synced/syncErr/closed change
+
+	segs    []segment
+	f       *os.File
+	size    int64  // bytes in the current segment
+	nextSeq uint64 // sequence the next Append assigns
+
+	appended uint64 // highest sequence written to the page cache
+	synced   uint64 // highest sequence known durable
+	syncing  bool   // one group-commit fsync in flight
+	syncErr  error  // sticky fatal
+	closed   bool
+
+	syncs   uint64 // fsync calls issued (observability)
+	appends uint64 // records appended this process
+}
+
+// Open opens (or creates) the log in dir, repairing a torn final record by
+// truncating it away. Mid-log corruption returns ErrCorrupt — the caller must
+// not serve from a log it cannot trust.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, segs: segs}
+	l.cond = sync.NewCond(&l.mu)
+
+	if len(segs) == 0 {
+		// Fresh log: first record is sequence 1 (0 means "no records", the
+		// natural floor for Replay and snapshot bookkeeping).
+		return l, l.startSegment(1)
+	}
+	// Validate every segment and find the tail. Only the final segment may
+	// end torn; repair it by truncating at the last valid frame boundary.
+	last := segs[0].start - 1
+	for i, seg := range segs {
+		if seg.start != last+1 {
+			return nil, fmt.Errorf("%w: segment %s starts at %d, want %d", ErrCorrupt, filepath.Base(seg.path), seg.start, last+1)
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		recs, off, derr := DecodeSegment(data, seg.start)
+		final := i == len(segs)-1
+		if derr != nil {
+			return nil, fmt.Errorf("opening %s: %w", filepath.Base(seg.path), derr)
+		}
+		if off < len(data) {
+			if !final {
+				return nil, fmt.Errorf("%w: torn record inside non-final segment %s", ErrCorrupt, filepath.Base(seg.path))
+			}
+			if err := os.Truncate(seg.path, int64(off)); err != nil {
+				return nil, fmt.Errorf("repairing torn tail of %s: %w", filepath.Base(seg.path), err)
+			}
+		}
+		if len(recs) > 0 {
+			last = recs[len(recs)-1].Seq
+		} else if !final {
+			return nil, fmt.Errorf("%w: empty non-final segment %s", ErrCorrupt, filepath.Base(seg.path))
+		}
+		if final {
+			f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			l.f = f
+			l.size = int64(off)
+		}
+	}
+	l.nextSeq = last + 1
+	l.appended = last
+	l.synced = last // everything on disk at open time is as durable as it gets
+	return l, nil
+}
+
+// startSegment creates and switches to a fresh segment starting at seq.
+// Caller holds mu (or is the constructor).
+func (l *Log) startSegment(seq uint64) error {
+	path := segmentPath(l.dir, seq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.segs = append(l.segs, segment{start: seq, path: path})
+	l.f = f
+	l.size = 0
+	l.nextSeq = seq
+	return nil
+}
+
+// Append assigns rec the next sequence number and writes its frame into the
+// page cache, rotating segments as needed. It does NOT wait for durability —
+// pair with Commit(seq) where the caller acknowledges anything.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errLogClosed
+	}
+	if l.syncErr != nil {
+		return 0, l.syncErr
+	}
+	rec.Seq = l.nextSeq
+	if err := rec.validate(); err != nil {
+		return 0, err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte cap", len(payload), MaxRecordBytes)
+	}
+	frame := AppendFrame(nil, payload)
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.syncErr = fmt.Errorf("durable: append failed: %w", err)
+		l.cond.Broadcast()
+		return 0, l.syncErr
+	}
+	l.size += int64(len(frame))
+	l.appended = rec.Seq
+	l.appends++
+	l.nextSeq++
+	return rec.Seq, nil
+}
+
+// rotateLocked fsyncs and closes the current segment and opens the next one.
+// Everything in the closed segment is durable afterwards.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		l.syncErr = fmt.Errorf("durable: rotating fsync failed: %w", err)
+		l.cond.Broadcast()
+		return l.syncErr
+	}
+	l.syncs++
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	if l.appended > l.synced {
+		l.synced = l.appended
+		l.cond.Broadcast()
+	}
+	return l.startSegment(l.nextSeq)
+}
+
+// Commit blocks until every record through seq is durable, sharing in-flight
+// fsyncs with concurrent committers: whichever caller finds no fsync running
+// issues one covering everything appended so far, and every waiter whose
+// sequence that run covers returns without a syscall of its own.
+func (l *Log) Commit(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.appended {
+		return fmt.Errorf("durable: commit of unappended sequence %d (appended through %d)", seq, l.appended)
+	}
+	for l.synced < seq {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.closed {
+			return errLogClosed
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		f, target := l.f, l.appended
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		l.syncs++
+		if err != nil {
+			l.syncErr = fmt.Errorf("durable: fsync failed: %w", err)
+		} else if target > l.synced {
+			l.synced = target
+		}
+		l.cond.Broadcast()
+	}
+	return nil
+}
+
+// Sync makes everything appended so far durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.appended
+	l.mu.Unlock()
+	return l.Commit(target)
+}
+
+// LastSeq returns the highest sequence appended (durable or not); 0 on an
+// empty log.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Stats reports append/fsync counters for observability.
+func (l *Log) Stats() (appends, syncs uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.syncs
+}
+
+// SegmentCount returns the number of live segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// TruncateBefore deletes whole segments every one of whose records has
+// sequence < keep — called after a snapshot covering sequences < keep is
+// durable. The active segment is never deleted.
+func (l *Log) TruncateBefore(keep uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errLogClosed
+	}
+	cut := 0
+	for cut+1 < len(l.segs) && l.segs[cut+1].start <= keep {
+		cut++
+	}
+	for _, seg := range l.segs[:cut] {
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	l.segs = append([]segment(nil), l.segs[cut:]...)
+	return nil
+}
+
+// Close fsyncs and closes the log. Later operations fail. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.syncErr == nil {
+		if err = l.f.Sync(); err == nil {
+			l.syncs++
+			l.synced = l.appended
+		}
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.cond.Broadcast()
+	return err
+}
+
+// Abandon closes the log WITHOUT the final fsync — the crash-shaped shutdown
+// the recovery harness uses. Unsynced appends survive only as far as the OS
+// page cache did.
+func (l *Log) Abandon() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	_ = l.f.Close()
+	l.cond.Broadcast()
+}

@@ -530,15 +530,16 @@ func (e *Engine) CoflowStatus(id int) (CoflowStatus, bool) {
 		}
 		return st, true
 	}
+	// Count done flows from the registry, not the simulator: a restored
+	// engine re-registers only the live flows of an active coflow, so its
+	// simulator never sees the flows that finished before the snapshot.
+	st.FlowsDone = st.NumFlows - e.flowsLeft[id]
 	for j := range cf.Flows {
 		fs, ok := e.sim.Status(coflow.FlowRef{Coflow: id, Index: j})
-		if !ok {
+		if !ok || fs.Done {
 			continue
 		}
 		st.RemainingBytes += fs.Remaining
-		if fs.Done {
-			st.FlowsDone++
-		}
 	}
 	return st, true
 }

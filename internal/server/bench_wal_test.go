@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
+)
+
+// BenchmarkAdmit measures the end-to-end HTTP admission path with and
+// without a write-ahead log. The wal=on variant pays the append plus a
+// group-committed fsync before the 201 is acknowledged — the exact durability
+// boundary — so the delta between the two sub-benchmarks is the admit-path
+// overhead of durability. Alongside ns/op each variant reports its observed
+// p99 latency (p99-ns/op), the number scripts/bench_wal.sh records to
+// BENCH_sim.json and holds against the admit-p99 regression budget.
+func BenchmarkAdmit(b *testing.B) {
+	for _, walled := range []bool{false, true} {
+		name := "wal=off"
+		if walled {
+			name = "wal=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{
+				Network:     graph.FatTree(4, 1),
+				Policy:      online.SEBFOnline{},
+				EpochLength: 2,
+				// Effectively frozen clock: the benchmark isolates admission
+				// cost, with no epoch ticks racing the measured requests.
+				TimeScale: 1e-9,
+			}
+			if walled {
+				cfg.WALDir = b.TempDir()
+				cfg.SnapshotInterval = -1 // no snapshot I/O in the measured window
+			}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatalf("new server: %v", err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer func() {
+				ts.Close()
+				s.Close()
+			}()
+			c := NewClient(ts.URL)
+			hosts := graph.FatTree(4, 1).Hosts()
+			cf := coflow.Coflow{
+				Name: "bench", Weight: 1,
+				Flows: []coflow.Flow{
+					{Source: hosts[0], Dest: hosts[5], Size: 10},
+					{Source: hosts[2], Dest: hosts[9], Size: 10},
+				},
+			}
+
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := c.Admit(cf); err != nil {
+					b.Fatalf("admit %d: %v", i, err)
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			idx := len(lat) * 99 / 100
+			if idx >= len(lat) {
+				idx = len(lat) - 1
+			}
+			b.ReportMetric(float64(lat[idx].Nanoseconds()), "p99-ns/op")
+		})
+	}
+}

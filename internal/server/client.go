@@ -25,9 +25,12 @@ import (
 // Every request carries the HTTPClient's timeout (so a hung backend fails the
 // request instead of stalling the caller forever) and transient failures —
 // transport errors and 429/502/503/504 responses — are retried up to Retries
-// times with exponentially growing, jittered backoff. Retrying an Admit whose
-// response was lost can admit the coflow twice; callers that need exactly-once
-// admission must disable retries (WithRetries(0, 0)) and reconcile themselves.
+// times with exponentially growing, jittered backoff. Admissions are
+// exactly-once under this policy: every Admit carries an idempotency key in
+// the X-Coflow-Id header (auto-generated unless the caller supplies one via
+// AdmitWithKey), so a retried request whose original response was lost
+// replays the first admission instead of creating a second coflow — even
+// across a daemon restart when the daemon runs with a WAL.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -172,23 +175,37 @@ func (c *Client) get(path, endpoint string, out any) error {
 }
 
 // Admit posts one coflow; flow Release fields are offsets from admission.
-// Under the retry policy admission is at-least-once: if a response is lost in
-// transit the retried request can create a second copy on the server.
+// A fresh idempotency key is generated per call and re-sent on every retry,
+// so a lost response cannot double-admit: the retried request gets the
+// original admission back.
 func (c *Client) Admit(cf coflow.Coflow) (AdmitResponse, error) {
-	return c.AdmitTraced(cf, "")
+	return c.AdmitWithKey(cf, "", telemetry.NewTraceID())
 }
 
 // AdmitTraced posts one coflow carrying a lifecycle trace id in the
 // X-Coflow-Trace header, so the admitting daemon's spans join the caller's.
-// An empty trace behaves like Admit (the daemon mints its own id).
+// An empty trace behaves like Admit (the daemon mints its own id). Like
+// Admit, each call carries a fresh auto-generated idempotency key.
 func (c *Client) AdmitTraced(cf coflow.Coflow, trace string) (AdmitResponse, error) {
+	return c.AdmitWithKey(cf, trace, telemetry.NewTraceID())
+}
+
+// AdmitWithKey posts one coflow with an explicit idempotency key (X-Coflow-Id
+// header) and optional trace id. Callers that own retry loops spanning
+// process restarts — the cluster gateway re-placing an orphaned coflow, say —
+// pass a stable key so every attempt lands on the same admission. An empty
+// key sends no idempotency header at all (at-least-once admission).
+func (c *Client) AdmitWithKey(cf coflow.Coflow, trace, key string) (AdmitResponse, error) {
 	body, err := json.Marshal(cf)
 	if err != nil {
 		return AdmitResponse{}, err
 	}
-	var header map[string]string
+	header := map[string]string{}
 	if trace != "" {
-		header = map[string]string{telemetry.TraceHeader: trace}
+		header[telemetry.TraceHeader] = trace
+	}
+	if key != "" {
+		header[IdemHeader] = key
 	}
 	var out AdmitResponse
 	return out, c.doJSON(http.MethodPost, "/v1/coflows", "admit", header, body, &out)

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"coflowsched/internal/durable"
+	"coflowsched/internal/online"
+)
+
+// Durability. With Config.WALDir set, the daemon logs every state-changing
+// engine operation — admissions, applied orders, clock advances — to a
+// write-ahead log before acknowledging it, snapshots the engine periodically,
+// and on boot rebuilds the engine by restoring the newest snapshot and
+// re-running the log's suffix through the same engine entry points the live
+// daemon uses. Because the engine is deterministic (admission routing depends
+// only on the monotonically accumulated load, simulation on the applied
+// orders), replay reconstructs the pre-crash engine exactly: admitted coflows
+// keep their ids, arrivals, routes and priorities, and in-flight transfers
+// resume where the last durable record left them.
+//
+// Durability boundary: an admission is fsynced (group-committed) before the
+// 201 goes out, so an acknowledged coflow survives any crash. Tick-path
+// advance/order records are appended without a forced sync — they ride along
+// with the next admission's commit or segment rotation — so a crash can roll
+// the clock back to the last durable record; replayed ticks then re-derive the
+// lost progress deterministically.
+
+// IdemHeader carries an admission's idempotency key. A client that retries a
+// POST /v1/coflows with the same key gets the original response back instead
+// of a second coflow; keys are WAL-logged and snapshotted, so the dedupe
+// window survives a daemon restart.
+const IdemHeader = "X-Coflow-Id"
+
+// snapshotKeep bounds retained snapshots: the newest is the restore point,
+// the older ones are insurance against a torn or corrupt newest.
+const snapshotKeep = 3
+
+// idemEntry is one admission dedupe entry. seq is the WAL sequence of the
+// admit record, so a duplicate request arriving while the original fsync is
+// still in flight waits for the same durability point before acking.
+type idemEntry struct {
+	resp AdmitResponse
+	seq  uint64
+}
+
+// serverPersist is the snapshot body: the engine state plus the server-side
+// maps that must survive a restart (idempotency keys, lifecycle trace ids).
+type serverPersist struct {
+	Engine *online.EngineState      `json:"engine"`
+	Idem   map[string]AdmitResponse `json:"idem,omitempty"`
+	Traces map[int]string           `json:"traces,omitempty"`
+}
+
+// recovery is everything recoverState rebuilds from disk.
+type recovery struct {
+	eng      *online.Engine
+	wal      *durable.Log
+	store    durable.BlobStore
+	idem     map[string]idemEntry
+	traceIDs map[int]string
+	// active counts admitted-but-incomplete coflows restored, the value of
+	// the coflowd_wal_recovered_coflows gauge.
+	active   int
+	replayed uint64
+}
+
+// recoverState rebuilds the engine from cfg.WALDir: newest usable snapshot,
+// then the log suffix it does not cover, then the log is opened for
+// appending. A log or snapshot that cannot be trusted fails the boot — a
+// daemon must not serve from state it cannot vouch for.
+func recoverState(cfg Config) (*recovery, error) {
+	store := cfg.SnapshotStore
+	if store == nil {
+		ds, err := durable.NewDirStore(filepath.Join(cfg.WALDir, "snapshots"))
+		if err != nil {
+			return nil, fmt.Errorf("server: opening snapshot store: %w", err)
+		}
+		store = ds
+	}
+	ctx := context.Background()
+	var persist serverPersist
+	seq, ok, skipped, err := durable.LatestSnapshot(ctx, store, &persist)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading snapshots: %w", err)
+	}
+	if skipped > 0 {
+		cfg.Logger.Warn("skipped unreadable snapshots", "component", "coflowd", "count", skipped)
+	}
+
+	rec := &recovery{
+		store:    store,
+		idem:     make(map[string]idemEntry),
+		traceIDs: make(map[int]string),
+	}
+	engCfg := online.Config{EpochLength: cfg.EpochLength, CandidatePaths: cfg.CandidatePaths}
+	if ok {
+		rec.eng, err = online.RestoreEngine(cfg.Network, cfg.Policy, engCfg, persist.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("server: restoring snapshot through seq %d: %w", seq, err)
+		}
+		for key, resp := range persist.Idem {
+			rec.idem[key] = idemEntry{resp: resp}
+		}
+		for id, trace := range persist.Traces {
+			rec.traceIDs[id] = trace
+		}
+	} else {
+		rec.eng, err = online.NewEngine(cfg.Network, cfg.Policy, engCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	last, err := durable.Replay(cfg.WALDir, seq+1, func(r *durable.Record) error {
+		return rec.apply(r)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: replaying wal: %w", err)
+	}
+	// Coflows that completed inside the replay have no one to report to;
+	// drain the log so the first live tick starts clean.
+	for _, id := range rec.eng.TakeCompleted() {
+		delete(rec.traceIDs, id)
+	}
+	activeCoflows, _ := rec.eng.ActiveCounts()
+	rec.active = activeCoflows
+
+	rec.wal, err = durable.Open(cfg.WALDir, durable.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("server: opening wal: %w", err)
+	}
+	if got := rec.wal.LastSeq(); got < last {
+		return nil, fmt.Errorf("%w: log reopened at seq %d after replaying through %d", durable.ErrCorrupt, got, last)
+	}
+	return rec, nil
+}
+
+// apply replays one WAL record into the recovering engine, using exactly the
+// entry points the live scheduler uses. Any record the engine refuses marks
+// the log corrupt: the log claims a history the engine cannot have produced.
+func (rec *recovery) apply(r *durable.Record) error {
+	switch r.Type {
+	case durable.RecAdmit:
+		a := r.Admit
+		id, err := rec.eng.Admit(a.Spec, a.Now)
+		if err != nil {
+			return fmt.Errorf("%w: admit record seq %d does not replay: %v", durable.ErrCorrupt, r.Seq, err)
+		}
+		if id != a.ID {
+			return fmt.Errorf("%w: admit record seq %d replayed as coflow %d, log says %d", durable.ErrCorrupt, r.Seq, id, a.ID)
+		}
+		if a.Key != "" {
+			rec.idem[a.Key] = idemEntry{resp: AdmitResponse{ID: id, Name: a.Spec.Name, Arrival: a.Now, Trace: a.Trace}}
+		}
+		if a.Trace != "" {
+			rec.traceIDs[id] = a.Trace
+		}
+	case durable.RecOrder:
+		o := r.Order
+		if err := rec.eng.AdvanceTo(o.Now); err != nil {
+			return fmt.Errorf("%w: order record seq %d: advance to %v: %v", durable.ErrCorrupt, r.Seq, o.Now, err)
+		}
+		latency := time.Duration(o.LatencySecs * float64(time.Second))
+		if err := rec.eng.ApplyOrder(o.Refs, latency); err != nil {
+			return fmt.Errorf("%w: order record seq %d does not replay: %v", durable.ErrCorrupt, r.Seq, err)
+		}
+	case durable.RecAdvance:
+		adv := r.Advance
+		if adv.Decide {
+			if err := rec.eng.DecideSync(); err != nil {
+				return fmt.Errorf("%w: advance record seq %d: decide: %v", durable.ErrCorrupt, r.Seq, err)
+			}
+		}
+		if err := rec.eng.AdvanceTo(adv.Now); err != nil {
+			return fmt.Errorf("%w: advance record seq %d: advance to %v: %v", durable.ErrCorrupt, r.Seq, adv.Now, err)
+		}
+	case durable.RecComplete:
+		// Informational: completions are re-derived by the replayed advances.
+	default:
+		return fmt.Errorf("%w: record seq %d has type %q, which does not belong in a coflowd log", durable.ErrCorrupt, r.Seq, r.Type)
+	}
+	rec.replayed++
+	return nil
+}
+
+// walAppend appends one record on the scheduler goroutine, returning its
+// sequence. WAL failure is fail-stop for durability (the sticky error fails
+// every later append and commit, so no new admission is acknowledged) but the
+// in-memory engine keeps serving reads; the failure is logged once.
+func (s *Server) walAppend(r *durable.Record) (uint64, error) {
+	seq, err := s.wal.Append(r)
+	if err != nil && !s.walFailed {
+		s.walFailed = true
+		s.logger.Error("wal append failed; daemon is now read-only", "component", "coflowd", "err", err)
+	}
+	return seq, err
+}
+
+// maybeSnapshot captures the engine state on the scheduler goroutine and
+// writes it out on a separate goroutine, so a large state never stalls the
+// tick loop; at most one snapshot is in flight. After the snapshot is durable
+// the log prefix it covers is dropped.
+func (s *Server) maybeSnapshot() {
+	if s.wal == nil || s.snapshotting {
+		return
+	}
+	// Everything through seq is reflected in the state exported below: both
+	// reads happen on the scheduler goroutine with no engine op between them.
+	seq := s.wal.LastSeq()
+	if seq == 0 {
+		return
+	}
+	persist := serverPersist{Engine: s.eng.ExportState()}
+	if len(s.idem) > 0 {
+		persist.Idem = make(map[string]AdmitResponse, len(s.idem))
+		for key, e := range s.idem {
+			persist.Idem[key] = e.resp
+		}
+	}
+	if len(s.traceIDs) > 0 {
+		persist.Traces = make(map[int]string, len(s.traceIDs))
+		for id, trace := range s.traceIDs {
+			persist.Traces[id] = trace
+		}
+	}
+	s.snapshotting = true
+	go func() {
+		t0 := time.Now()
+		ctx := context.Background()
+		key, err := durable.WriteSnapshot(ctx, s.store, seq, persist)
+		if err == nil {
+			err = s.wal.TruncateBefore(seq + 1)
+		}
+		if err == nil {
+			err = durable.PruneSnapshots(ctx, s.store, snapshotKeep)
+		}
+		if err != nil {
+			s.logger.Error("snapshot failed", "component", "coflowd", "seq", seq, "err", err)
+		} else {
+			s.metrics.snapshots.Inc()
+			s.logger.Info("snapshot written", "component", "coflowd",
+				"key", key, "seq", seq, "segments", s.wal.SegmentCount(),
+				"took", time.Since(t0))
+		}
+		// Clearing the flag needs the scheduler; after shutdown the flag no
+		// longer matters.
+		_ = s.do(func() { s.snapshotting = false })
+	}()
+}
+
+// shutdown stops the scheduler and closes the log. abandon skips the final
+// fsync — the crash-shaped variant the recovery harness uses.
+func (s *Server) shutdown(abandon bool) {
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.stopped
+	if s.wal != nil {
+		s.walOnce.Do(func() {
+			if abandon {
+				s.wal.Abandon()
+			} else if err := s.wal.Close(); err != nil {
+				s.logger.Error("wal close failed", "component", "coflowd", "err", err)
+			}
+		})
+	}
+}
+
+// Kill stops the server the way a crash would: no drain, no final fsync.
+// Everything not yet group-committed is abandoned to the page cache. Tests
+// use it to exercise the recovery path; production shutdown is Close.
+func (s *Server) Kill() { s.shutdown(true) }

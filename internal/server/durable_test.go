@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
+)
+
+// testDurableServer starts a daemon with a WAL under dir. Lifecycle is
+// manual: restart tests Kill one incarnation and boot another against the
+// same directory, so there is no automatic cleanup beyond the final one the
+// caller registers.
+func testDurableServer(t *testing.T, dir string, timeScale float64) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s, err := New(Config{
+		Network:     graph.FatTree(4, 1),
+		Policy:      online.SEBFOnline{},
+		EpochLength: 2,
+		TimeScale:   timeScale,
+		WALDir:      dir,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new durable server: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return s, ts, NewClient(ts.URL)
+}
+
+// TestServerRecoveryOverRestart admits coflows over HTTP, kills the daemon
+// without a clean shutdown, and boots a fresh one against the same WAL
+// directory: every acknowledged admission must come back with its id, name
+// and arrival intact, and the recovered coflows must run to completion
+// without being re-admitted.
+func TestServerRecoveryOverRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, ts, c := testDurableServer(t, dir, 200)
+
+	var admitted []AdmitResponse
+	for _, spec := range []struct {
+		name string
+		size float64
+	}{{"restart-a", 2}, {"restart-b", 3}, {"restart-c", 5}} {
+		resp, err := c.Admit(testCoflow(t, spec.name, spec.size))
+		if err != nil {
+			t.Fatalf("admit %s: %v", spec.name, err)
+		}
+		admitted = append(admitted, resp)
+	}
+	// Let a few epoch ticks land so the log holds advances, not just admits.
+	time.Sleep(30 * time.Millisecond)
+
+	ts.Close()
+	s.Kill() // crash-shaped: no drain, no final fsync
+
+	s2, ts2, c2 := testDurableServer(t, dir, 200)
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+
+	st, err := c2.Stats()
+	if err != nil {
+		t.Fatalf("stats after restart: %v", err)
+	}
+	if st.Admitted != len(admitted) {
+		t.Fatalf("recovered daemon admitted = %d, want %d", st.Admitted, len(admitted))
+	}
+	for _, want := range admitted {
+		got, err := c2.Coflow(want.ID)
+		if err != nil {
+			t.Fatalf("coflow %d after restart: %v", want.ID, err)
+		}
+		if got.Name != want.Name {
+			t.Errorf("coflow %d name = %q after restart, admitted as %q", want.ID, got.Name, want.Name)
+		}
+		if got.Arrival != want.Arrival {
+			t.Errorf("coflow %d arrival = %v after restart, admitted at %v", want.ID, got.Arrival, want.Arrival)
+		}
+	}
+
+	// The recovered coflows must finish on their own as simulated time resumes.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, want := range admitted {
+		for {
+			got, err := c2.Coflow(want.ID)
+			if err != nil {
+				t.Fatalf("poll coflow %d: %v", want.ID, err)
+			}
+			if got.Done {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("coflow %d still unfinished after restart: %+v", want.ID, got)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	final, err := c2.Stats()
+	if err != nil {
+		t.Fatalf("final stats: %v", err)
+	}
+	if final.Completed != len(admitted) || final.Admitted != len(admitted) {
+		t.Errorf("final stats admitted/completed = %d/%d, want %d/%d",
+			final.Admitted, final.Completed, len(admitted), len(admitted))
+	}
+}
+
+// TestAdmitIdempotency checks the X-Coflow-Id dedupe path: a repeated key
+// replays the original admission (same id, one engine admission), the key is
+// echoed in the response header, and — with a WAL — the dedupe window
+// survives a daemon restart.
+func TestAdmitIdempotency(t *testing.T) {
+	dir := t.TempDir()
+	s, ts, c := testDurableServer(t, dir, 50)
+	cf := testCoflow(t, "idem", 3)
+
+	first, err := c.AdmitWithKey(cf, "", "key-A")
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	second, err := c.AdmitWithKey(cf, "", "key-A")
+	if err != nil {
+		t.Fatalf("duplicate admit: %v", err)
+	}
+	if second != first {
+		t.Fatalf("duplicate admit response %+v, original %+v", second, first)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Admitted != 1 {
+		t.Fatalf("admitted = %d after duplicate request, want 1", st.Admitted)
+	}
+
+	// The key is echoed on the wire so callers can correlate retries.
+	body, _ := json.Marshal(cf)
+	req, _ := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/coflows", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(IdemHeader, "key-A")
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("raw admit: %v", err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusCreated {
+		t.Errorf("duplicate raw admit status = %d, want 201", raw.StatusCode)
+	}
+	if got := raw.Header.Get(IdemHeader); got != "key-A" {
+		t.Errorf("%s echo = %q, want key-A", IdemHeader, got)
+	}
+
+	// Keys survive a crash: the retried request after the restart still
+	// dedupes against the WAL-recovered entry.
+	ts.Close()
+	s.Kill()
+	s2, ts2, c2 := testDurableServer(t, dir, 50)
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+	})
+	replayed, err := c2.AdmitWithKey(cf, "", "key-A")
+	if err != nil {
+		t.Fatalf("admit after restart: %v", err)
+	}
+	if replayed.ID != first.ID || replayed.Arrival != first.Arrival {
+		t.Errorf("admit after restart = %+v, original %+v", replayed, first)
+	}
+	st2, err := c2.Stats()
+	if err != nil {
+		t.Fatalf("stats after restart: %v", err)
+	}
+	if st2.Admitted != 1 {
+		t.Errorf("admitted = %d after restart retry, want 1", st2.Admitted)
+	}
+}
+
+// TestAdmitIdempotencyWithoutWAL pins that the dedupe window also works on a
+// purely in-memory daemon (it just does not survive restarts there).
+func TestAdmitIdempotencyWithoutWAL(t *testing.T) {
+	s, c := testServer(t, online.SEBFOnline{}, 50)
+	first, err := c.AdmitWithKey(testCoflow(t, "mem-idem", 2), "", "key-B")
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	second, err := c.AdmitWithKey(testCoflow(t, "mem-idem", 2), "", "key-B")
+	if err != nil {
+		t.Fatalf("duplicate admit: %v", err)
+	}
+	if second != first {
+		t.Fatalf("duplicate response %+v, original %+v", second, first)
+	}
+	if st, err := s.Stats(); err != nil || st.Admitted != 1 {
+		t.Fatalf("admitted = %d (%v), want 1", st.Admitted, err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"coflowsched/internal/coflow"
+	"coflowsched/internal/durable"
 	"coflowsched/internal/online"
 	"coflowsched/internal/stats"
 	"coflowsched/internal/telemetry"
@@ -161,10 +162,22 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if trace == "" {
 		trace = telemetry.NewTraceID()
 	}
+	// An idempotency key makes the admission exactly-once across retries: a
+	// repeated key replays the original response instead of admitting again,
+	// and with a WAL the key survives a daemon restart.
+	key := r.Header.Get(IdemHeader)
 	t0 := time.Now()
 	var resp AdmitResponse
-	var admitErr error
+	var admitErr, walErr error
+	var seq uint64
+	var dup bool
 	err := s.do(func() {
+		if key != "" {
+			if prev, ok := s.idem[key]; ok {
+				resp, seq, dup = prev.resp, prev.seq, true
+				return
+			}
+		}
 		if s.draining {
 			admitErr = errDraining
 			return
@@ -177,8 +190,23 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.traceIDs[id] = trace
 		resp = AdmitResponse{ID: id, Name: cf.Name, Arrival: now, Trace: trace}
+		if s.wal != nil {
+			seq, walErr = s.walAppend(&durable.Record{Type: durable.RecAdmit, Admit: &durable.AdmitRecord{
+				ID: id, Now: now, Key: key, Trace: trace, Spec: cf,
+			}})
+		}
+		if key != "" {
+			s.idem[key] = idemEntry{resp: resp, seq: seq}
+		}
 	})
-	if err == nil && admitErr == nil {
+	// The fsync wait happens off the scheduler goroutine, so a slow disk
+	// stalls this request, not the epoch loop; concurrent admissions share
+	// the sync (group commit). A duplicate whose original append has not been
+	// committed yet waits for the same durability point before re-acking.
+	if err == nil && admitErr == nil && walErr == nil && s.wal != nil && seq > 0 {
+		walErr = s.wal.Commit(seq)
+	}
+	if err == nil && admitErr == nil && walErr == nil && !dup {
 		s.tracer.Record(telemetry.Span{
 			Name:     "shard-admit",
 			Trace:    trace,
@@ -189,6 +217,9 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		s.logger.Debug("coflow admitted", "component", "coflowd",
 			"coflow", resp.ID, "name", cf.Name, "flows", len(cf.Flows), "trace", trace)
 	}
+	if key != "" {
+		w.Header().Set(IdemHeader, key)
+	}
 	switch {
 	case err != nil:
 		RespondError(w, http.StatusServiceUnavailable, err.Error())
@@ -196,6 +227,10 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		RespondError(w, http.StatusServiceUnavailable, admitErr.Error())
 	case admitErr != nil:
 		RespondError(w, http.StatusBadRequest, admitErr.Error())
+	case walErr != nil:
+		// The coflow may be admitted in memory but is not durable; the sticky
+		// log error keeps the daemon read-only, so a retry cannot double-admit.
+		RespondError(w, http.StatusServiceUnavailable, "durability failure: "+walErr.Error())
 	default:
 		RespondJSON(w, http.StatusCreated, resp)
 	}

@@ -38,6 +38,10 @@ type serverMetrics struct {
 	requestErrors    *telemetry.Counter
 	tickDuration     *telemetry.Histogram
 	traceSpans       *telemetry.Counter
+	walRecords       *telemetry.Counter
+	walFsyncs        *telemetry.Counter
+	walRecovered     *telemetry.Gauge
+	snapshots        *telemetry.Counter
 }
 
 // newServerMetrics registers coflowd's metric families. A non-empty shard
@@ -74,6 +78,10 @@ func newServerMetrics(shard string) *serverMetrics {
 		requestErrors:    reg.Counter("coflowd_http_request_errors_total", "HTTP requests answered with a 4xx/5xx status"),
 		tickDuration:     reg.Histogram("coflowd_tick_duration_seconds", "scheduler tick duration distribution", nil),
 		traceSpans:       reg.Counter("coflowd_trace_spans_total", "lifecycle trace spans recorded"),
+		walRecords:       reg.Counter("coflowd_wal_records_total", "write-ahead log records appended this process"),
+		walFsyncs:        reg.Counter("coflowd_wal_fsyncs_total", "write-ahead log fsync calls (group commit batches)"),
+		walRecovered:     reg.Gauge("coflowd_wal_recovered_coflows", "admitted-but-incomplete coflows restored at boot"),
+		snapshots:        reg.Counter("coflowd_snapshots_total", "engine snapshots written"),
 	}
 	telemetry.RegisterRuntimeCollector(reg)
 	m.up.Set(1)
@@ -140,5 +148,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.updateFromEngine(st, ticks)
 	spans, _ := s.tracer.Totals()
 	s.metrics.traceSpans.Set(float64(spans))
+	if s.wal != nil {
+		appends, syncs := s.wal.Stats()
+		s.metrics.walRecords.Set(float64(appends))
+		s.metrics.walFsyncs.Set(float64(syncs))
+	}
 	s.metrics.reg.Handler().ServeHTTP(w, r)
 }

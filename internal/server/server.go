@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"coflowsched/internal/durable"
 	"coflowsched/internal/graph"
 	"coflowsched/internal/online"
 	"coflowsched/internal/telemetry"
@@ -64,6 +65,21 @@ type Config struct {
 	// TraceCapacity bounds the lifecycle-trace span ring served at
 	// /debug/traces (default telemetry.DefaultTraceCapacity).
 	TraceCapacity int
+	// WALDir, when non-empty, turns on durability: state-changing engine
+	// operations are written to a write-ahead log under this directory,
+	// admissions are fsynced before they are acknowledged, and a restarted
+	// daemon replays the log (from the newest snapshot) to restore every
+	// admitted-but-incomplete coflow before serving. See durable.go.
+	WALDir string
+	// SnapshotInterval is the wall-clock period between engine snapshots,
+	// which bound replay time and let the log prefix be truncated. Only
+	// meaningful with WALDir set; defaults to 30s there, negative disables
+	// snapshotting.
+	SnapshotInterval time.Duration
+	// SnapshotStore overrides where snapshots are written (for example an
+	// object store). Nil defaults to a local directory store under
+	// WALDir/snapshots.
+	SnapshotStore durable.BlobStore
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -85,6 +101,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TimeScale == 0 {
 		c.TimeScale = 1
+	}
+	if c.WALDir != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = telemetry.LogfLogger(c.Logf) // nil Logf discards
@@ -119,9 +138,22 @@ type Server struct {
 	tracer    *telemetry.Tracer
 	logger    *slog.Logger
 
+	// Durability (nil without Config.WALDir). simBase offsets the wall-clock
+	// mapping so a recovered engine's simulation clock continues from where
+	// replay left it instead of restarting at zero.
+	wal     *durable.Log
+	store   durable.BlobStore
+	walOnce sync.Once
+	simBase float64
+
 	// Owned by the scheduler goroutine.
 	solving  bool
 	draining bool
+	// idem deduplicates admissions by X-Coflow-Id; snapshotting serializes
+	// async snapshots; walFailed gates the one-time log write-failure log.
+	idem         map[string]idemEntry
+	snapshotting bool
+	walFailed    bool
 	// tickDurs is a bounded reservoir of recent AdvanceTo wall-clock
 	// durations in seconds, the source of the /metrics per-tick timing
 	// percentiles.
@@ -165,16 +197,8 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := online.NewEngine(cfg.Network, cfg.Policy, online.Config{
-		EpochLength:    cfg.EpochLength,
-		CandidatePaths: cfg.CandidatePaths,
-	})
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		cfg:      cfg,
-		eng:      eng,
 		cmds:     make(chan func()),
 		quit:     make(chan struct{}),
 		stopped:  make(chan struct{}),
@@ -183,6 +207,33 @@ func New(cfg Config) (*Server, error) {
 		tracer:   telemetry.NewTracer("coflowd", cfg.Shard, cfg.TraceCapacity),
 		logger:   cfg.Logger,
 		traceIDs: make(map[int]string),
+		idem:     make(map[string]idemEntry),
+	}
+	if cfg.WALDir == "" {
+		s.eng, err = online.NewEngine(cfg.Network, cfg.Policy, online.Config{
+			EpochLength:    cfg.EpochLength,
+			CandidatePaths: cfg.CandidatePaths,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rec, err := recoverState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.eng = rec.eng
+		s.wal = rec.wal
+		s.store = rec.store
+		s.idem = rec.idem
+		s.traceIDs = rec.traceIDs
+		s.simBase = rec.eng.Now()
+		s.metrics.walRecovered.Set(float64(rec.active))
+		if rec.replayed > 0 || rec.active > 0 {
+			s.logger.Info("state recovered", "component", "coflowd",
+				"replayed", rec.replayed, "active_coflows", rec.active,
+				"sim_now", s.simBase)
+		}
 	}
 	go s.loop()
 	return s, nil
@@ -192,9 +243,10 @@ func New(cfg Config) (*Server, error) {
 // gateway's).
 func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
-// simNow maps the wall clock onto the simulation clock.
+// simNow maps the wall clock onto the simulation clock, offset by the clock
+// a recovered engine resumed at.
 func (s *Server) simNow() float64 {
-	return time.Since(s.start).Seconds() * s.cfg.TimeScale
+	return s.simBase + time.Since(s.start).Seconds()*s.cfg.TimeScale
 }
 
 // wallEpoch is the wall-clock tick period of the epoch loop.
@@ -212,6 +264,12 @@ func (s *Server) loop() {
 	defer close(s.stopped)
 	tick := time.NewTicker(s.wallEpoch())
 	defer tick.Stop()
+	var snapC <-chan time.Time
+	if s.wal != nil && s.cfg.SnapshotInterval > 0 {
+		snap := time.NewTicker(s.cfg.SnapshotInterval)
+		defer snap.Stop()
+		snapC = snap.C
+	}
 	for {
 		select {
 		case <-s.quit:
@@ -220,6 +278,8 @@ func (s *Server) loop() {
 			op()
 		case <-tick.C:
 			s.tick()
+		case <-snapC:
+			s.maybeSnapshot()
 		}
 	}
 }
@@ -252,6 +312,19 @@ func (s *Server) tick() {
 		s.logger.Debug("coflow completed", "component", "coflowd", "coflow", id, "trace", span.Trace)
 	}
 	activeCoflows, activeFlows := s.eng.ActiveCounts()
+	// Log the advance only while there is state worth recovering: an idle
+	// daemon's log must not grow with its uptime. No forced sync — tick
+	// records ride along with the next admission's group commit.
+	if s.wal != nil && (activeCoflows > 0 || len(done) > 0) {
+		_, _ = s.walAppend(&durable.Record{Type: durable.RecAdvance,
+			Advance: &durable.AdvanceRecord{Now: s.eng.Now()}})
+		for _, id := range done {
+			if st, ok := s.eng.CoflowStatus(id); ok {
+				_, _ = s.walAppend(&durable.Record{Type: durable.RecComplete,
+					Complete: &durable.CompleteRecord{ID: id, Time: st.Completion}})
+			}
+		}
+	}
 	rec := EpochRecord{
 		Epoch:         s.eng.Epoch(),
 		SimNow:        s.eng.Now(),
@@ -296,6 +369,13 @@ func (s *Server) tick() {
 			if err := s.eng.ApplyOrder(order, latency); err != nil {
 				s.logger.Error("apply order failed", "component", "coflowd", "err", err)
 				return
+			}
+			if s.wal != nil {
+				_, _ = s.walAppend(&durable.Record{Type: durable.RecOrder, Order: &durable.OrderRecord{
+					Now:         s.eng.Now(),
+					LatencySecs: latency.Seconds(),
+					Refs:        order,
+				}})
 			}
 			churn := s.eng.OrderChurn()
 			s.lastDecide.applied = true
@@ -374,11 +454,10 @@ func (s *Server) Drain() (online.EngineStats, error) {
 	return st, derr
 }
 
-// Close stops the scheduler goroutine. Safe to call more than once; after
-// Close every handler responds 503.
+// Close stops the scheduler goroutine and fsync-closes the WAL. Safe to call
+// more than once; after Close every handler responds 503.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.quit) })
-	<-s.stopped
+	s.shutdown(false)
 }
 
 // Stats fetches the engine's aggregate counters through the scheduler

@@ -44,6 +44,10 @@ var coflowdFamilies = []string{
 	"coflowd_http_request_errors_total",
 	"coflowd_tick_duration_seconds",
 	"coflowd_trace_spans_total",
+	"coflowd_wal_records_total",
+	"coflowd_wal_fsyncs_total",
+	"coflowd_wal_recovered_coflows",
+	"coflowd_snapshots_total",
 }
 
 // runtimeFamilies is the process-health set RegisterRuntimeCollector adds to
@@ -72,6 +76,10 @@ var coflowgateFamilies = []string{
 	"coflowgate_backend_ejections_total",
 	"coflowgate_admit_seconds",
 	"coflowgate_trace_spans_total",
+	"coflowgate_wal_records_total",
+	"coflowgate_wal_fsyncs_total",
+	"coflowgate_wal_recovered_coflows",
+	"coflowgate_snapshots_total",
 }
 
 // scrape fetches and strictly parses one /metrics endpoint.

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Records the WAL admit-path overhead into BENCH_sim.json (JSON Lines).
+#
+# Usage: scripts/bench_wal.sh [label]
+#
+# Runs BenchmarkAdmit/wal=off and BenchmarkAdmit/wal=on (the end-to-end HTTP
+# admission path; the wal=on variant group-commits an fsync before the 201)
+# and appends one object per variant plus a summary object with the p99
+# ratio, held against the admit-p99 regression budget below. The budget
+# compares mean admit cost by default — fsync latency dominates tail latency
+# on spinning/virtualized disks no matter how cheap the code path is — and
+# the raw p99s are recorded alongside for trend tracking.
+#
+# The label tags the snapshot (defaults to the current commit). BENCHTIME
+# overrides the iteration count (default 500x). STRICT=1 makes a budget
+# violation exit nonzero (CI trend jobs; off by default because absolute
+# fsync cost is hardware, not regression).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+benchtime="${BENCHTIME:-500x}"
+budget="${BUDGET:-1.05}" # ≤5% admit regression budget
+out="BENCH_sim.json"
+
+results=$(go test -run=NONE -bench='BenchmarkAdmit/' -benchtime="$benchtime" ./internal/server/)
+
+echo "$results" | awk -v label="$label" '
+  /^BenchmarkAdmit\// {
+    name=$1; sub(/-[0-9]+$/, "", name)
+    ns=""; p99=""
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op") ns=$i
+      if ($(i+1) == "p99-ns/op") p99=$i
+    }
+    printf("{\"experiment\":\"wal\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"p99_ns\":%s}\n",
+           label, name, ns, p99)
+  }' >>"$out"
+
+read -r mean_off p99_off mean_on p99_on < <(echo "$results" | awk '
+  /wal=off/ { for (i = 2; i < NF; i++) { if ($(i+1) == "ns/op") moff=$i; if ($(i+1) == "p99-ns/op") poff=$i } }
+  /wal=on/  { for (i = 2; i < NF; i++) { if ($(i+1) == "ns/op") mon=$i;  if ($(i+1) == "p99-ns/op") pon=$i } }
+  END { print moff, poff, mon, pon }')
+
+summary=$(awk -v moff="$mean_off" -v mon="$mean_on" -v poff="$p99_off" -v pon="$p99_on" \
+  -v label="$label" -v budget="$budget" 'BEGIN {
+    mratio = mon / moff; pratio = pon / poff
+    within = (mratio <= budget) ? "true" : "false"
+    printf("{\"experiment\":\"wal-overhead\",\"label\":\"%s\",\"mean_ratio\":%.4f,\"p99_ratio\":%.4f,\"budget\":%s,\"within_budget\":%s}",
+           label, mratio, pratio, budget, within)
+  }')
+echo "$summary" >>"$out"
+
+echo "bench_wal: appended snapshot \"$label\" to $out" >&2
+echo "bench_wal: $summary" >&2
+if [ "${STRICT:-0}" = "1" ] && echo "$summary" | grep -q '"within_budget":false'; then
+  echo "bench_wal: WAL admit overhead exceeds the ${budget}x budget" >&2
+  exit 1
+fi
