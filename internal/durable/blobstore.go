@@ -93,7 +93,10 @@ func (d *DirStore) Put(ctx context.Context, key string, body io.Reader) error {
 		os.Remove(name)
 		return err
 	}
-	return nil
+	// The rename is only crash-durable once the directory entry is fsynced;
+	// without this a power loss can drop a snapshot whose covered WAL prefix
+	// was already truncated.
+	return syncDir(filepath.Dir(path))
 }
 
 // Get opens the object for reading.

@@ -330,11 +330,31 @@ func (l *Log) startSegment(seq uint64) error {
 	if err != nil {
 		return err
 	}
+	// The directory entry must be durable too: fsyncing record data into a
+	// file whose name a power loss can erase durably persists nothing.
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
 	l.segs = append(l.segs, segment{start: seq, path: path})
 	l.f = f
 	l.size = 0
 	l.nextSeq = seq
 	return nil
+}
+
+// syncDir fsyncs a directory so entries for files created, renamed or removed
+// in it survive a power loss, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Append assigns rec the next sequence number and writes its frame into the
@@ -397,6 +417,11 @@ func (l *Log) rotateLocked() error {
 	return l.startSegment(l.nextSeq)
 }
 
+// testCommitSyncDelay, when non-nil, runs between Commit releasing the lock
+// and issuing its fsync. Tests use it to force the otherwise nanosecond-wide
+// interleaving where a rotation closes the file under an in-flight Commit.
+var testCommitSyncDelay func()
+
 // Commit blocks until every record through seq is durable, sharing in-flight
 // fsyncs with concurrent committers: whichever caller finds no fsync running
 // issues one covering everything appended so far, and every waiter whose
@@ -421,12 +446,24 @@ func (l *Log) Commit(seq uint64) error {
 		l.syncing = true
 		f, target := l.f, l.appended
 		l.mu.Unlock()
+		if testCommitSyncDelay != nil {
+			testCommitSyncDelay()
+		}
 		err := f.Sync()
 		l.mu.Lock()
 		l.syncing = false
 		l.syncs++
+		if err != nil && target <= l.synced {
+			// While our fsync was in flight a rotation (or Close) fsynced and
+			// closed f underneath us, making everything through target durable
+			// before our Sync returned — typically as os.ErrClosed. Not a
+			// durability failure, so it must not fail-stop the log.
+			err = nil
+		}
 		if err != nil {
-			l.syncErr = fmt.Errorf("durable: fsync failed: %w", err)
+			if l.syncErr == nil {
+				l.syncErr = fmt.Errorf("durable: fsync failed: %w", err)
+			}
 		} else if target > l.synced {
 			l.synced = target
 		}
@@ -483,8 +520,24 @@ func (l *Log) TruncateBefore(keep uint64) error {
 			return err
 		}
 	}
+	if cut > 0 {
+		// Make the removals durable: a crash must not resurrect segments the
+		// snapshot bookkeeping considers gone.
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
 	l.segs = append([]segment(nil), l.segs[cut:]...)
 	return nil
+}
+
+// Err returns the sticky fatal error (nil while the log is healthy). Callers
+// gate state changes on it so a fail-stopped log rejects work before any
+// in-memory mutation, not after.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
 }
 
 // Close fsyncs and closes the log. Later operations fail. Idempotent.

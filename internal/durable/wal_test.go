@@ -127,6 +127,60 @@ func TestLogGroupCommitConcurrent(t *testing.T) {
 	}
 }
 
+// TestLogCommitDuringRotation forces the interleaving where a Commit's fsync
+// is in flight when a concurrent Append rotates (fsyncs + closes) the same
+// file. The doomed Sync on the closed file must not become the sticky
+// failure: the rotation's own fsync already made the Commit's target durable,
+// so a healthy log must keep accepting work.
+func TestLogCommitDuringRotation(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes 1 makes every append after a segment's first rotate.
+	l, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+
+	seq1, err := l.Append(advanceRec(1))
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+
+	// Hold the committer between releasing the lock and issuing its fsync
+	// while an Append rotates the segment out from under it.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	testCommitSyncDelay = func() {
+		close(entered)
+		<-release
+	}
+	defer func() { testCommitSyncDelay = nil }()
+
+	commitErr := make(chan error, 1)
+	go func() { commitErr <- l.Commit(seq1) }()
+	<-entered
+	testCommitSyncDelay = nil // only the in-flight Commit should stall
+	if _, err := l.Append(advanceRec(2)); err != nil {
+		t.Fatalf("rotating append: %v", err)
+	}
+	close(release)
+
+	if err := <-commitErr; err != nil {
+		t.Fatalf("commit racing rotation: %v", err)
+	}
+	// The log must still be healthy: the rotation made seq1 durable, so the
+	// closed-file Sync was not a durability failure.
+	if err := l.Err(); err != nil {
+		t.Fatalf("sticky error after benign rotation race: %v", err)
+	}
+	if _, err := l.Append(advanceRec(3)); err != nil {
+		t.Fatalf("append after rotation race: %v", err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync after rotation race: %v", err)
+	}
+}
+
 func TestLogRotationAndTruncate(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Options{SegmentBytes: 256})

@@ -31,8 +31,44 @@ import (
 // IdemHeader carries an admission's idempotency key. A client that retries a
 // POST /v1/coflows with the same key gets the original response back instead
 // of a second coflow; keys are WAL-logged and snapshotted, so the dedupe
-// window survives a daemon restart.
+// window survives a daemon restart. The window is bounded, not eternal: an
+// entry lives while its coflow is in flight and for idemGrace afterwards,
+// which keeps the map (and every snapshot serializing it) from growing with
+// the daemon's lifetime admission count.
 const IdemHeader = "X-Coflow-Id"
+
+// idemGrace is how long a completed coflow's idempotency entry stays
+// deduplicable. It only needs to outlive a client's retry loop (seconds);
+// minutes gives slack for a gateway re-placing work across a shard restart.
+const idemGrace = 2 * time.Minute
+
+// idemTomb schedules one completed coflow's dedupe entry for eviction.
+type idemTomb struct {
+	key     string
+	expires time.Time
+}
+
+// retireIdem moves the idempotency entries of just-completed coflows onto the
+// tomb queue and evicts entries whose grace window has passed. The queue is
+// expiry-ordered by construction (appends use a monotonically later clock),
+// so the sweep stops at the first live tomb. Scheduler goroutine only.
+func (s *Server) retireIdem(done []int) {
+	now := time.Now()
+	for _, id := range done {
+		if key, ok := s.idemByID[id]; ok {
+			delete(s.idemByID, id)
+			s.idemTombs = append(s.idemTombs, idemTomb{key: key, expires: now.Add(idemGrace)})
+		}
+	}
+	evicted := 0
+	for evicted < len(s.idemTombs) && now.After(s.idemTombs[evicted].expires) {
+		delete(s.idem, s.idemTombs[evicted].key)
+		evicted++
+	}
+	if evicted > 0 {
+		s.idemTombs = append(s.idemTombs[:0], s.idemTombs[evicted:]...)
+	}
+}
 
 // snapshotKeep bounds retained snapshots: the newest is the restore point,
 // the older ones are insurance against a torn or corrupt newest.
@@ -61,6 +97,11 @@ type recovery struct {
 	store    durable.BlobStore
 	idem     map[string]idemEntry
 	traceIDs map[int]string
+	// idemByID indexes recovered dedupe entries whose coflows are still in
+	// flight; staleIdem lists keys whose coflows already finished — they get a
+	// fresh grace window at boot, then evict.
+	idemByID  map[int]string
+	staleIdem []string
 	// active counts admitted-but-incomplete coflows restored, the value of
 	// the coflowd_wal_recovered_coflows gauge.
 	active   int
@@ -127,6 +168,18 @@ func recoverState(cfg Config) (*recovery, error) {
 	}
 	activeCoflows, _ := rec.eng.ActiveCounts()
 	rec.active = activeCoflows
+
+	// Partition recovered dedupe entries: live coflows keep an index for
+	// completion-time retirement, finished ones are marked stale so New can
+	// tomb them instead of letting them ride in the map forever.
+	rec.idemByID = make(map[int]string)
+	for key, e := range rec.idem {
+		if st, ok := rec.eng.CoflowStatus(e.resp.ID); ok && !st.Done {
+			rec.idemByID[e.resp.ID] = key
+		} else {
+			rec.staleIdem = append(rec.staleIdem, key)
+		}
+	}
 
 	rec.wal, err = durable.Open(cfg.WALDir, durable.Options{})
 	if err != nil {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -179,6 +180,71 @@ func TestAdmitIdempotency(t *testing.T) {
 	}
 	if st2.Admitted != 1 {
 		t.Errorf("admitted = %d after restart retry, want 1", st2.Admitted)
+	}
+}
+
+// TestAdmitFailedDurabilityNotCached pins the failed-append dedupe hole: an
+// admission whose WAL write fails must 503 AND must not cache a dedupe entry,
+// because the client auto-retries 503s with the same X-Coflow-Id — a cached
+// entry would replay a 201 for an admission that was never durable and would
+// silently vanish on restart.
+func TestAdmitFailedDurabilityNotCached(t *testing.T) {
+	dir := t.TempDir()
+	s, ts, c := testDurableServer(t, dir, 50)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	// Fail the log out from under the daemon: every later append errors, so
+	// no admission can reach durability.
+	s.wal.Abandon()
+
+	cf := testCoflow(t, "not-durable", 2)
+	if _, err := c.AdmitWithKey(cf, "", "key-fail"); err == nil {
+		t.Fatal("admit with a failed WAL succeeded; want 503")
+	}
+	// The retry (same key) must fail again, not replay a cached 201.
+	_, err := c.AdmitWithKey(cf, "", "key-fail")
+	var apiErr *APIError
+	if err == nil {
+		t.Fatal("retried admit with a failed WAL succeeded; want 503")
+	}
+	if errors.As(err, &apiErr) && apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("retried admit status = %d, want 503", apiErr.StatusCode)
+	}
+	var cached int
+	if err := s.do(func() { cached = len(s.idem) }); err != nil {
+		t.Fatalf("inspecting idem map: %v", err)
+	}
+	if cached != 0 {
+		t.Fatalf("idem map holds %d entries after failed admissions, want 0", cached)
+	}
+}
+
+// TestIdemRetirement pins the dedupe map's bound: completion moves an entry
+// onto the tomb queue (still deduplicable through the grace window), and an
+// expired tomb evicts it.
+func TestIdemRetirement(t *testing.T) {
+	s := &Server{
+		idem:     map[string]idemEntry{"k1": {resp: AdmitResponse{ID: 7}}},
+		idemByID: map[int]string{7: "k1"},
+	}
+	s.retireIdem([]int{7})
+	if _, ok := s.idem["k1"]; !ok {
+		t.Fatal("entry evicted at completion; must survive the grace window")
+	}
+	if _, ok := s.idemByID[7]; ok {
+		t.Fatal("completed coflow still indexed in idemByID")
+	}
+	if len(s.idemTombs) != 1 {
+		t.Fatalf("tombs = %d after completion, want 1", len(s.idemTombs))
+	}
+	// Force the grace window to lapse; the next sweep drops the entry.
+	s.idemTombs[0].expires = time.Now().Add(-time.Second)
+	s.retireIdem(nil)
+	if len(s.idem) != 0 || len(s.idemTombs) != 0 {
+		t.Fatalf("after expiry idem=%d tombs=%d, want 0/0", len(s.idem), len(s.idemTombs))
 	}
 }
 

@@ -182,6 +182,14 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			admitErr = errDraining
 			return
 		}
+		// A fail-stopped log rejects the admission before the engine mutates:
+		// retries against a daemon that cannot persist must not pile
+		// never-durable coflows into memory.
+		if s.wal != nil {
+			if walErr = s.wal.Err(); walErr != nil {
+				return
+			}
+		}
 		now := s.simNow()
 		id, err := s.eng.Admit(cf, now)
 		if err != nil {
@@ -195,8 +203,13 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 				ID: id, Now: now, Key: key, Trace: trace, Spec: cf,
 			}})
 		}
-		if key != "" {
+		// Cache the dedupe entry only for admissions that reached the log: a
+		// failed append 503s, and the retry must NOT replay a 201 for an
+		// admission that was never durable. (Snapshot-restored entries carry
+		// seq 0 and are safe — the snapshot itself covers them.)
+		if key != "" && walErr == nil {
 			s.idem[key] = idemEntry{resp: resp, seq: seq}
+			s.idemByID[resp.ID] = key
 		}
 	})
 	// The fsync wait happens off the scheduler goroutine, so a slow disk

@@ -149,9 +149,14 @@ type Server struct {
 	// Owned by the scheduler goroutine.
 	solving  bool
 	draining bool
-	// idem deduplicates admissions by X-Coflow-Id; snapshotting serializes
-	// async snapshots; walFailed gates the one-time log write-failure log.
+	// idem deduplicates admissions by X-Coflow-Id. It is bounded: idemByID
+	// maps live coflow ids back to their keys, and when a coflow completes its
+	// entry moves onto idemTombs (expiry-ordered) and is dropped once the
+	// grace window passes — see retireIdem. snapshotting serializes async
+	// snapshots; walFailed gates the one-time log write-failure log.
 	idem         map[string]idemEntry
+	idemByID     map[int]string
+	idemTombs    []idemTomb
 	snapshotting bool
 	walFailed    bool
 	// tickDurs is a bounded reservoir of recent AdvanceTo wall-clock
@@ -208,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 		logger:   cfg.Logger,
 		traceIDs: make(map[int]string),
 		idem:     make(map[string]idemEntry),
+		idemByID: make(map[int]string),
 	}
 	if cfg.WALDir == "" {
 		s.eng, err = online.NewEngine(cfg.Network, cfg.Policy, online.Config{
@@ -226,7 +232,14 @@ func New(cfg Config) (*Server, error) {
 		s.wal = rec.wal
 		s.store = rec.store
 		s.idem = rec.idem
+		s.idemByID = rec.idemByID
 		s.traceIDs = rec.traceIDs
+		// Recovered keys whose coflows already finished start their grace
+		// window at boot so they still dedupe a straggling retry, then go.
+		expires := time.Now().Add(idemGrace)
+		for _, key := range rec.staleIdem {
+			s.idemTombs = append(s.idemTombs, idemTomb{key: key, expires: expires})
+		}
 		s.simBase = rec.eng.Now()
 		s.metrics.walRecovered.Set(float64(rec.active))
 		if rec.replayed > 0 || rec.active > 0 {
@@ -311,6 +324,7 @@ func (s *Server) tick() {
 		delete(s.traceIDs, id)
 		s.logger.Debug("coflow completed", "component", "coflowd", "coflow", id, "trace", span.Trace)
 	}
+	s.retireIdem(done)
 	activeCoflows, activeFlows := s.eng.ActiveCounts()
 	// Log the advance only while there is state worth recovering: an idle
 	// daemon's log must not grow with its uptime. No forced sync — tick
@@ -439,11 +453,13 @@ func (s *Server) Drain() (online.EngineStats, error) {
 		derr = s.eng.Drain()
 		// Close out lifecycle traces for coflows that finished inside the
 		// drain (the tick loop never sees them).
-		for _, id := range s.eng.TakeCompleted() {
+		drained := s.eng.TakeCompleted()
+		for _, id := range drained {
 			s.tracer.Record(telemetry.Span{Name: "completion", Trace: s.traceIDs[id], Coflow: id,
 				Attrs: map[string]string{"drained": "true"}})
 			delete(s.traceIDs, id)
 		}
+		s.retireIdem(drained)
 		st = s.eng.Stats()
 		s.logger.Info("drain finished", "component", "coflowd",
 			"completed", st.Completed, "sim_now", st.Now, "err", derr)
