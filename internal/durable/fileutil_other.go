@@ -1,0 +1,14 @@
+//go:build !linux
+
+package durable
+
+import "os"
+
+// fdatasync falls back to a full fsync where the data-only variant is not
+// available.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}
+
+// preallocate is a no-op off Linux; segments grow append by append.
+func preallocate(_ *os.File, _ int64) {}

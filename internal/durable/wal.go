@@ -15,8 +15,9 @@
 // sequence they cover, and TruncateBefore deletes whole segments the newest
 // snapshot has superseded.
 //
-// Durability contract: Append writes into the OS page cache; Commit(seq)
-// blocks until everything through seq is fsynced. Concurrent committers share
+// Durability contract: Append buffers the frame in memory (it reaches the OS
+// page cache, in one batched write, at the next commit/rotation/close);
+// Commit(seq) blocks until everything through seq is fsynced. Concurrent committers share
 // one fsync (group commit) — that batching is what keeps the admit path's p99
 // within budget with durability on. A failed fsync is sticky and fails every
 // later Append/Commit: a log that cannot persist must fail loudly, not
@@ -245,8 +246,16 @@ type Log struct {
 
 	segs    []segment
 	f       *os.File
-	size    int64  // bytes in the current segment
+	size    int64  // bytes in the current segment, buffered writes included
 	nextSeq uint64 // sequence the next Append assigns
+
+	// buf holds frames appended since the last flush. Append only encodes
+	// into this buffer; flushLocked writes it to the segment in ONE syscall,
+	// at every point durability or visibility is promised (commit, rotation,
+	// close, abandon). Under a group-committed burst of N admissions this
+	// turns N write syscalls into one, and the fsync that follows covers the
+	// whole buffer.
+	buf []byte
 
 	appended uint64 // highest sequence written to the page cache
 	synced   uint64 // highest sequence known durable
@@ -336,6 +345,10 @@ func (l *Log) startSegment(seq uint64) error {
 		f.Close()
 		return err
 	}
+	// Best-effort extent reservation (keeping the logical size, so recovery
+	// never scans preallocated zeros): with extents already on disk, the
+	// per-commit fdatasync stops paying block-allocation metadata journaling.
+	preallocate(f, l.opts.SegmentBytes)
 	l.segs = append(l.segs, segment{start: seq, path: path})
 	l.f = f
 	l.size = 0
@@ -380,27 +393,44 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte cap", len(payload), MaxRecordBytes)
 	}
-	frame := AppendFrame(nil, payload)
-	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+	frameLen := int64(frameHeader + len(payload))
+	if l.size > 0 && l.size+frameLen > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
 		}
 	}
-	if _, err := l.f.Write(frame); err != nil {
-		l.syncErr = fmt.Errorf("durable: append failed: %w", err)
-		l.cond.Broadcast()
-		return 0, l.syncErr
-	}
-	l.size += int64(len(frame))
+	// Encode into the write buffer only: the bytes reach the file in one
+	// batched write at the next flush point (commit, rotation, close).
+	l.buf = AppendFrame(l.buf, payload)
+	l.size += frameLen
 	l.appended = rec.Seq
 	l.appends++
 	l.nextSeq++
 	return rec.Seq, nil
 }
 
+// flushLocked writes every buffered frame to the current segment in one
+// syscall. A write failure is sticky, exactly like an append failure was when
+// appends wrote through directly. Caller holds mu.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.syncErr = fmt.Errorf("durable: append failed: %w", err)
+		l.cond.Broadcast()
+		return l.syncErr
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
 // rotateLocked fsyncs and closes the current segment and opens the next one.
 // Everything in the closed segment is durable afterwards.
 func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
 	if err := l.f.Sync(); err != nil {
 		l.syncErr = fmt.Errorf("durable: rotating fsync failed: %w", err)
 		l.cond.Broadcast()
@@ -443,13 +473,19 @@ func (l *Log) Commit(seq uint64) error {
 			l.cond.Wait()
 			continue
 		}
+		// Everything buffered reaches the file before the fsync target is
+		// captured, so the sync below covers every append made so far —
+		// including records buffered while the previous fsync was in flight.
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
 		l.syncing = true
 		f, target := l.f, l.appended
 		l.mu.Unlock()
 		if testCommitSyncDelay != nil {
 			testCommitSyncDelay()
 		}
-		err := f.Sync()
+		err := fdatasync(f)
 		l.mu.Lock()
 		l.syncing = false
 		l.syncs++
@@ -550,9 +586,11 @@ func (l *Log) Close() error {
 	l.closed = true
 	var err error
 	if l.syncErr == nil {
-		if err = l.f.Sync(); err == nil {
-			l.syncs++
-			l.synced = l.appended
+		if err = l.flushLocked(); err == nil {
+			if err = l.f.Sync(); err == nil {
+				l.syncs++
+				l.synced = l.appended
+			}
 		}
 	}
 	if cerr := l.f.Close(); err == nil {
@@ -572,6 +610,9 @@ func (l *Log) Abandon() {
 		return
 	}
 	l.closed = true
+	// Flush (no fsync): abandoned appends keep today's page-cache fate —
+	// they survive a process crash, not a power loss.
+	_ = l.flushLocked()
 	_ = l.f.Close()
 	l.cond.Broadcast()
 }

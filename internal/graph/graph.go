@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node of a Graph.
@@ -67,6 +68,13 @@ type Graph struct {
 	edges []Edge
 	out   [][]EdgeID // outgoing edge ids per node
 	in    [][]EdgeID // incoming edge ids per node
+
+	// Derived-state caches, shared by every consumer of the topology and
+	// dropped on mutation. Graphs are handled by pointer throughout, so the
+	// synchronization state is never copied.
+	kspMu   sync.RWMutex
+	kspMemo map[kspKey][]Path // see pathcache.go
+	btPool  sync.Pool         // *btScratch, see load.go
 }
 
 // New returns an empty graph.
@@ -78,6 +86,7 @@ func (g *Graph) AddNode(name string, kind NodeKind) NodeID {
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.invalidateCaches()
 	return id
 }
 
@@ -94,7 +103,26 @@ func (g *Graph) AddEdge(from, to NodeID, capacity float64) EdgeID {
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.invalidateCaches()
 	return id
+}
+
+// btGet checks a scratch arena out of the pool, (re)allocating when the pool
+// is empty or the graph grew since the arena was built.
+func (g *Graph) btGet() *btScratch {
+	s, _ := g.btPool.Get().(*btScratch)
+	if s == nil || len(s.vals) < len(g.edges) {
+		s = &btScratch{
+			vals:  make([]float64, len(g.edges)),
+			stamp: make([]uint32, len(g.edges)),
+		}
+	}
+	s.cur++
+	if s.cur == 0 { // generation counter wrapped: stale stamps could collide
+		clear(s.stamp)
+		s.cur = 1
+	}
+	return s
 }
 
 // AddBidirectional adds a pair of opposite directed edges with the same

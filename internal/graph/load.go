@@ -14,16 +14,26 @@ type PathLoad struct {
 func (g *Graph) BottleneckTime(loads []PathLoad) float64 {
 	// Dense accumulation: edge ids are small consecutive integers, so a flat
 	// slice beats a hash map on this hot path (one call per coflow per epoch
-	// in the online SEBF policy).
-	load := make([]float64, len(g.edges))
+	// in the online SEBF policy). The slice is a pooled, generation-stamped
+	// arena — the policy calls this once per coflow per epoch, and a fresh
+	// O(edges) allocation per call dominated the decide profile. Stamps make
+	// acquisition O(1): an entry counts only if written this generation.
+	s := g.btGet()
 	max := 0.0
 	for _, pl := range loads {
 		for _, e := range pl.Path {
-			load[e] += pl.Volume / g.edges[e].Capacity
-			if load[e] > max {
-				max = load[e]
+			v := pl.Volume / g.edges[e].Capacity
+			if s.stamp[e] == s.cur {
+				v += s.vals[e]
+			} else {
+				s.stamp[e] = s.cur
+			}
+			s.vals[e] = v
+			if v > max {
+				max = v
 			}
 		}
 	}
+	g.btPool.Put(s)
 	return max
 }

@@ -1,0 +1,127 @@
+package graph
+
+import "runtime"
+
+// Pod partition extraction. Datacenter fabrics decompose at the core layer:
+// removing the core switches splits a fat-tree into its pods (plus the
+// core-adjacent uplinks), and flows that stay inside one pod never share an
+// edge with flows confined to another. The parallel simulator exploits these
+// cut points — each partition's edges are owned by one worker, so per-edge
+// residual arithmetic needs no synchronization for intra-partition flows.
+
+// EdgePartition assigns every directed edge of a graph to exactly one of
+// Parts() disjoint classes. It is immutable once built.
+type EdgePartition struct {
+	parts int
+	edge  []int32 // part index per EdgeID
+}
+
+// Parts returns the number of partition classes.
+func (p *EdgePartition) Parts() int { return p.parts }
+
+// NumEdges returns the number of edges the partition covers; consumers use
+// it to check the partition was extracted from the graph they simulate.
+func (p *EdgePartition) NumEdges() int { return len(p.edge) }
+
+// EdgePart returns the class owning edge e.
+func (p *EdgePartition) EdgePart(e EdgeID) int { return int(p.edge[e]) }
+
+// PodPartition partitions the edge set by the connected components of the
+// graph with core switches removed: two edges share a class iff they touch a
+// common non-core component. In a fat-tree this yields one class per pod —
+// host↔edge, edge↔agg and agg↔core links all belong to the pod of their
+// non-core endpoint. Component labels are assigned in ascending order of the
+// smallest node id in each component, so the partition is deterministic.
+// Core↔core edges (absent from fat-trees) fall into class 0. Graphs without
+// core switches (line, star, synthetic meshes) form a single class.
+func (g *Graph) PodPartition() *EdgePartition {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	isCore := func(v NodeID) bool { return g.nodes[v].Kind == KindCoreSwitch }
+	for _, e := range g.edges {
+		if isCore(e.From) || isCore(e.To) {
+			continue
+		}
+		a, b := find(int32(e.From)), find(int32(e.To))
+		if a != b {
+			if a > b { // smaller id becomes the root: deterministic labels
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	// Label components in ascending root-id order.
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if isCore(NodeID(v)) {
+			continue
+		}
+		r := find(int32(v))
+		if label[r] < 0 {
+			label[r] = next
+			next++
+		}
+	}
+	if next == 0 {
+		next = 1 // all-core graph: one class so EdgePart stays total
+	}
+	edge := make([]int32, len(g.edges))
+	for i, e := range g.edges {
+		switch {
+		case !isCore(e.From):
+			edge[i] = label[find(int32(e.From))]
+		case !isCore(e.To):
+			edge[i] = label[find(int32(e.To))]
+		default:
+			edge[i] = 0
+		}
+	}
+	return &EdgePartition{parts: int(next), edge: edge}
+}
+
+// AutoPartitions picks a partition count for running this topology's
+// simulator in parallel: the natural pod-partition width, capped at
+// GOMAXPROCS — more classes than processors only adds merge overhead.
+// Topologies without pod structure (line, star) report 1, the sequential
+// core.
+func (g *Graph) AutoPartitions() int {
+	parts := g.PodPartition().Parts()
+	if p := runtime.GOMAXPROCS(0); p < parts {
+		parts = p
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// Coalesce folds the partition down to at most maxParts classes by taking
+// class ids modulo maxParts. It returns the receiver unchanged when it
+// already fits (or maxParts <= 0). Folding keeps the ownership invariant —
+// every edge still belongs to exactly one class — at the cost of coarser
+// parallelism.
+func (p *EdgePartition) Coalesce(maxParts int) *EdgePartition {
+	if maxParts <= 0 || p.parts <= maxParts {
+		return p
+	}
+	edge := make([]int32, len(p.edge))
+	for i, c := range p.edge {
+		edge[i] = c % int32(maxParts)
+	}
+	return &EdgePartition{parts: maxParts, edge: edge}
+}

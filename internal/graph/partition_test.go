@@ -1,0 +1,139 @@
+package graph
+
+import "testing"
+
+// TestPodPartitionFatTree checks that a fat-tree decomposes into one class
+// per pod and that every edge's class matches its non-core endpoint's pod.
+func TestPodPartitionFatTree(t *testing.T) {
+	for _, k := range []int{4, 6} {
+		g := FatTree(k, 1.0)
+		p := g.PodPartition()
+		if p.Parts() != k {
+			t.Fatalf("FatTree(%d): got %d parts, want %d (one per pod)", k, p.Parts(), k)
+		}
+		// Ownership is total and consistent: both directions of a duplex link
+		// share a class, and classes cover every edge exactly once.
+		seen := make([]int, p.Parts())
+		for i := 0; i < g.NumEdges(); i++ {
+			c := p.EdgePart(EdgeID(i))
+			if c < 0 || c >= p.Parts() {
+				t.Fatalf("edge %d: class %d out of range [0,%d)", i, c, p.Parts())
+			}
+			seen[c]++
+			e := g.Edge(EdgeID(i))
+			rev := -1
+			for j := 0; j < g.NumEdges(); j++ {
+				re := g.Edge(EdgeID(j))
+				if re.From == e.To && re.To == e.From {
+					rev = j
+					break
+				}
+			}
+			if rev >= 0 && p.EdgePart(EdgeID(rev)) != c {
+				t.Fatalf("edge %d and reverse %d in different classes", i, rev)
+			}
+		}
+		for c, n := range seen {
+			if n == 0 {
+				t.Fatalf("class %d owns no edges", c)
+			}
+		}
+	}
+}
+
+// TestPodPartitionIntraPodPaths checks the cut-point property the parallel
+// simulator relies on: a shortest path between two hosts of the same pod
+// stays inside one class.
+func TestPodPartitionIntraPodPaths(t *testing.T) {
+	g := FatTree(4, 1.0)
+	p := g.PodPartition()
+	hosts := g.Hosts()
+	perPod := len(hosts) / 4
+	a, b := hosts[0], hosts[perPod-1] // same pod by construction order
+	path := g.ShortestPath(a, b)
+	if len(path) == 0 {
+		t.Fatalf("no path between same-pod hosts %d and %d", a, b)
+	}
+	c := p.EdgePart(path[0])
+	for _, e := range path {
+		if p.EdgePart(e) != c {
+			t.Fatalf("intra-pod path crosses classes: edge %d in %d, want %d", e, p.EdgePart(e), c)
+		}
+	}
+}
+
+// TestPodPartitionDegenerate checks coreless and deterministic behavior.
+func TestPodPartitionDegenerate(t *testing.T) {
+	g := Line(5, 1.0)
+	p := g.PodPartition()
+	if p.Parts() != 1 {
+		t.Fatalf("Line(5): got %d parts, want 1 (no core cut points)", p.Parts())
+	}
+	// Determinism: two extractions agree edge for edge.
+	ft := FatTree(4, 1.0)
+	p1, p2 := ft.PodPartition(), ft.PodPartition()
+	for i := 0; i < ft.NumEdges(); i++ {
+		if p1.EdgePart(EdgeID(i)) != p2.EdgePart(EdgeID(i)) {
+			t.Fatalf("nondeterministic partition at edge %d", i)
+		}
+	}
+}
+
+// TestCoalesce checks that folding preserves totality and bounds the count.
+func TestCoalesce(t *testing.T) {
+	g := FatTree(6, 1.0)
+	p := g.PodPartition()
+	for _, max := range []int{1, 2, 4} {
+		q := p.Coalesce(max)
+		if q.Parts() != max {
+			t.Fatalf("Coalesce(%d): got %d parts", max, q.Parts())
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			want := p.EdgePart(EdgeID(i)) % max
+			if q.EdgePart(EdgeID(i)) != want {
+				t.Fatalf("Coalesce(%d): edge %d class %d, want %d", max, i, q.EdgePart(EdgeID(i)), want)
+			}
+		}
+	}
+	if q := p.Coalesce(64); q != p {
+		t.Fatalf("Coalesce above Parts() should return the receiver")
+	}
+	if q := p.Coalesce(0); q != p {
+		t.Fatalf("Coalesce(0) should return the receiver")
+	}
+}
+
+// TestKShortestPathsCached checks memoized results match the uncached search
+// and that mutation invalidates the memo.
+func TestKShortestPathsCached(t *testing.T) {
+	g := FatTree(4, 1.0)
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	want := g.KShortestPaths(src, dst, 4)
+	got := g.KShortestPathsCached(src, dst, 4)
+	if len(got) != len(want) {
+		t.Fatalf("cached returned %d paths, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("path %d differs in length", i)
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("path %d edge %d differs", i, j)
+			}
+		}
+	}
+	// Second call returns the identical shared slice.
+	again := g.KShortestPathsCached(src, dst, 4)
+	if len(again) > 0 && len(got) > 0 && &again[0] != &got[0] {
+		t.Fatalf("cache miss on repeat lookup")
+	}
+	// Mutation drops the memo.
+	n := g.AddNode("extra", KindHost)
+	g.AddEdge(n, src, 1.0)
+	fresh := g.KShortestPathsCached(src, dst, 4)
+	if len(fresh) != len(want) {
+		t.Fatalf("post-mutation lookup returned %d paths, want %d", len(fresh), len(want))
+	}
+}

@@ -3,6 +3,8 @@ package online
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"coflowsched/internal/coflow"
@@ -53,14 +55,28 @@ type Engine struct {
 
 	// load accumulates admitted volume per edge for causal path selection.
 	load []float64
-	// pathCache memoizes the K-shortest candidate paths per endpoint pair:
-	// the network is immutable, so a long-running daemon computes each pair's
-	// candidates at most once instead of re-running Yen's algorithm on every
-	// admission.
-	pathCache map[pathKey][]graph.Path
-	now       float64
-	epoch     int
-	order     []coflow.FlowRef
+	// handles holds one simulator handle per flow, indexed [coflow][flow
+	// index], so the per-tick snapshot path reads flow state without a map
+	// lookup per flow. Entries are nil once the coflow completes (its flows
+	// are forgotten) and for never-registered flows of restored coflows.
+	handles [][]sim.Handle
+	now     float64
+	epoch   int
+	order   []coflow.FlowRef
+	// orderScratch and orderHandles are ApplyOrder's reusable buffers.
+	// snapScratch is DecideSync's reusable snapshot arena — legal because
+	// Decide must not retain the snapshot after returning.
+	orderScratch []coflow.FlowRef
+	orderHandles []sim.Handle
+	snapScratch  Snapshot
+	// churnPos mirrors the handles table: per flow slot, the flow's position
+	// in the old order of the current churn() call, packed as gen<<32|pos.
+	// The generation stamp self-invalidates stale entries, so computing
+	// churn costs two slice indexings per reference instead of a rebuilt map.
+	churnPos [][]uint64
+	churnGen uint64
+	// parts is the simulator partition class count (1 = sequential core).
+	parts int
 	// lastChurn is the order-churn fraction of the most recent ApplyOrder.
 	lastChurn float64
 	// recentDone logs coflow ids completed since the last TakeCompleted call
@@ -163,37 +179,42 @@ func NewEngine(g *graph.Graph, policy Policy, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("online: policy %s needs the full instance up front and cannot run incrementally", policy.Name())
 	}
 	inst := &coflow.Instance{Network: g}
-	s, err := sim.New(inst, sim.Config{Policy: sim.Priority})
+	var part *graph.EdgePartition
+	parts := 1
+	if cfg.Partitions > 1 {
+		part = g.PodPartition().Coalesce(cfg.Partitions)
+		parts = part.Parts()
+	}
+	s, err := sim.New(inst, sim.Config{Policy: sim.Priority, Partition: part})
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{
-		cfg:       cfg,
-		policy:    policy,
-		inst:      inst,
-		sim:       s,
-		load:      make([]float64, g.NumEdges()),
-		pathCache: make(map[pathKey][]graph.Path),
+		cfg:    cfg,
+		policy: policy,
+		inst:   inst,
+		sim:    s,
+		load:   make([]float64, g.NumEdges()),
+		parts:  parts,
 	}, nil
 }
 
-// pathKey identifies an endpoint pair in the candidate-path cache.
-type pathKey struct{ src, dst graph.NodeID }
+// Partitions reports the simulator's partition class count (1 when the
+// sequential core is in use).
+func (e *Engine) Partitions() int { return e.parts }
 
 // candidatePaths returns the admission router's candidate set for one flow:
 // its pre-assigned path if any, otherwise the K shortest paths between its
-// endpoints, memoized per pair.
+// endpoints, memoized on the (immutable) network itself — so every engine,
+// benchmark and recovery replay sharing a topology computes each pair at
+// most once. The memo is a pure function of the topology, which is what
+// keeps Admit's rollback exact: there is no engine-side routing cache to
+// unwind when an admission fails midway.
 func (e *Engine) candidatePaths(f *coflow.Flow) []graph.Path {
 	if f.Path != nil {
 		return []graph.Path{f.Path}
 	}
-	key := pathKey{src: f.Source, dst: f.Dest}
-	if cands, ok := e.pathCache[key]; ok {
-		return cands
-	}
-	cands := e.inst.Network.KShortestPaths(f.Source, f.Dest, e.cfg.CandidatePaths)
-	e.pathCache[key] = cands
-	return cands
+	return e.inst.Network.KShortestPathsCached(f.Source, f.Dest, e.cfg.CandidatePaths)
 }
 
 // Policy returns the engine's policy. Decide may be called on it from any
@@ -285,16 +306,26 @@ func (e *Engine) Admit(cf coflow.Coflow, now float64) (int, error) {
 	for j := range admitted.Flows {
 		ref := coflow.FlowRef{Coflow: id, Index: j}
 		if err := e.sim.AddFlow(ref, admitted.Flows[j], admitted.Flows[j].Path); err != nil {
-			if j > 0 {
-				// Flows cannot be unregistered from the simulator, so a
-				// failure after the first registration would leave a partial
-				// coflow behind. Unreachable with the pre-validated inputs
-				// above (fresh references, validated paths, future releases).
-				panic(fmt.Sprintf("online: partial admission of coflow %d: %v", id, err))
+			// Roll back the flows already registered — they are all still
+			// pending (nothing advances the simulator mid-admission), so
+			// removal restores the simulator exactly. Removal of a flow we
+			// just added can only fail on an engine invariant violation.
+			for k := j - 1; k >= 0; k-- {
+				if rerr := e.sim.Remove(coflow.FlowRef{Coflow: id, Index: k}); rerr != nil {
+					panic(fmt.Sprintf("online: rollback of coflow %d flow %d: %v", id, k, rerr))
+				}
 			}
 			e.load = loadBefore
-			return 0, err
+			return 0, fmt.Errorf("online: flow %d: %w", j, err)
 		}
+	}
+	hs := make([]sim.Handle, len(admitted.Flows))
+	for j := range admitted.Flows {
+		h, ok := e.sim.Handle(coflow.FlowRef{Coflow: id, Index: j})
+		if !ok {
+			panic(fmt.Sprintf("online: admitted flow %d/%d has no simulator state", id, j))
+		}
+		hs[j] = h
 	}
 
 	bytes := 0.0
@@ -308,45 +339,170 @@ func (e *Engine) Admit(cf coflow.Coflow, now float64) (int, error) {
 	e.completion = append(e.completion, 0)
 	e.totalBytes = append(e.totalBytes, bytes)
 	e.active = append(e.active, id)
+	e.handles = append(e.handles, hs)
+	e.churnPos = append(e.churnPos, make([]uint64, len(admitted.Flows)))
 	e.totalFlows += len(admitted.Flows)
 	return id, nil
 }
+
+// AdmitResult is one outcome of AdmitBatch: the assigned coflow id on
+// success, or the admission error.
+type AdmitResult struct {
+	ID  int
+	Err error
+}
+
+// AdmitBatch admits a queue of coflows at one admission time, returning one
+// result per spec in order. Admissions are independent — a failed spec rolls
+// back only itself (see Admit) and does not disturb its neighbors — so a
+// batch is exactly equivalent to the same Admit calls in sequence. The
+// server's admission coalescing uses this to amortize its scheduler
+// round-trip and WAL group commit across every request queued behind one
+// channel receive.
+func (e *Engine) AdmitBatch(cfs []coflow.Coflow, now float64) []AdmitResult {
+	out := make([]AdmitResult, len(cfs))
+	for i := range cfs {
+		out[i].ID, out[i].Err = e.Admit(cfs[i], now)
+	}
+	return out
+}
+
+// snapshotCoflow builds the residual view of one admitted coflow into rcf,
+// reusing rcf's Flows backing array. It reads flow state through the handle
+// table — no map lookup per flow — and reports whether the coflow has any
+// unfinished flows (false leaves rcf's header fields unset but its backing
+// intact for reuse). Safe to call from several goroutines for DISTINCT
+// coflows while the engine is otherwise quiescent: it only reads engine
+// registries and per-flow simulator state.
+func (e *Engine) snapshotCoflow(id int, rcf *ResidualCoflow) bool {
+	cf := &e.inst.Coflows[id]
+	hs := e.handles[id]
+	flows := rcf.Flows[:0]
+	for j := range cf.Flows {
+		if hs == nil || !hs[j].Valid() {
+			continue // never registered (restored-coflow gap) or pruned
+		}
+		fs := e.sim.HandleStatus(hs[j])
+		if fs.Done {
+			continue
+		}
+		f := &cf.Flows[j]
+		flows = append(flows, ResidualFlow{
+			Ref:       coflow.FlowRef{Coflow: id, Index: j},
+			Source:    f.Source,
+			Dest:      f.Dest,
+			Path:      fs.Path,
+			Release:   f.Release,
+			Size:      fs.Size,
+			Remaining: fs.Remaining,
+		})
+	}
+	rcf.Flows = flows
+	if len(flows) == 0 {
+		return false
+	}
+	rcf.Index = id
+	rcf.Name = cf.Name
+	rcf.Weight = cf.Weight
+	rcf.Arrival = e.arrivals[id]
+	return true
+}
+
+// snapshotParallelMin is the active-coflow count below which Snapshot's
+// chunked fan-out costs more than it saves.
+const snapshotParallelMin = 64
 
 // Snapshot captures the policy-visible residual state at the engine clock,
 // without stopping or perturbing the simulation: admitted coflows that have
 // arrived and still have unfinished flows, exactly what the batch loop
 // shows its policies. The snapshot is an independent copy, safe to hand to
 // a Decide running on another goroutine. Cost is proportional to active
-// flows, not total admissions.
+// flows, not total admissions; large snapshots are assembled by parallel
+// chunk workers writing disjoint indexed slots, then compacted in admission
+// order, so the output is identical to the sequential assembly.
 func (e *Engine) Snapshot() *Snapshot {
 	snap := &Snapshot{Now: e.now, Epoch: e.epoch, Network: e.inst.Network}
+	ids := make([]int, 0, len(e.active))
 	for _, id := range e.active {
 		if e.arrivals[id] > e.now+1e-15 {
 			continue // future admission: invisible to the policy
 		}
-		cf := &e.inst.Coflows[id]
-		rcf := ResidualCoflow{Index: id, Name: cf.Name, Weight: cf.Weight, Arrival: e.arrivals[id]}
-		for j, f := range cf.Flows {
-			ref := coflow.FlowRef{Coflow: id, Index: j}
-			fs, ok := e.sim.Status(ref)
-			if !ok || fs.Done {
-				continue
-			}
-			rcf.Flows = append(rcf.Flows, ResidualFlow{
-				Ref:       ref,
-				Source:    f.Source,
-				Dest:      f.Dest,
-				Path:      fs.Path,
-				Release:   f.Release,
-				Size:      fs.Size,
-				Remaining: fs.Remaining,
-			})
+		ids = append(ids, id)
+	}
+	out := make([]ResidualCoflow, len(ids))
+	keep := make([]bool, len(ids))
+	build := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keep[i] = e.snapshotCoflow(ids[i], &out[i])
 		}
-		if len(rcf.Flows) > 0 {
-			snap.Coflows = append(snap.Coflows, rcf)
+	}
+	if w := snapshotWorkers(len(ids)); w > 1 {
+		var wg sync.WaitGroup
+		chunk := (len(ids) + w - 1) / w
+		for lo := 0; lo < len(ids); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				build(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		build(0, len(ids))
+	}
+	for i := range out {
+		if keep[i] {
+			snap.Coflows = append(snap.Coflows, out[i])
 		}
 	}
 	return snap
+}
+
+// snapshotWorkers sizes Snapshot's fan-out: 1 (sequential) unless the active
+// set is large enough to amortize goroutine launch and the process actually
+// has spare CPUs.
+func snapshotWorkers(n int) int {
+	if n < snapshotParallelMin {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4 // diminishing returns; snapshot assembly is memory-bound
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// snapshotInto rebuilds the snapshot in place, reusing snap's Coflows slice
+// and each slot's Flows backing. This is DecideSync's allocation-free path;
+// it is legal because the Policy contract forbids Decide from retaining the
+// snapshot after returning.
+func (e *Engine) snapshotInto(snap *Snapshot) {
+	snap.Now, snap.Epoch, snap.Network = e.now, e.epoch, e.inst.Network
+	coflows := snap.Coflows[:0]
+	for _, id := range e.active {
+		if e.arrivals[id] > e.now+1e-15 {
+			continue
+		}
+		n := len(coflows)
+		if n < cap(coflows) {
+			coflows = coflows[:n+1]
+		} else {
+			coflows = append(coflows, ResidualCoflow{})
+		}
+		if !e.snapshotCoflow(id, &coflows[n]) {
+			// Truncate but keep the slot (and its Flows backing) in the
+			// spare capacity for the next rebuild.
+			coflows = coflows[:n]
+		}
+	}
+	snap.Coflows = coflows
 }
 
 // ApplyOrder installs a priority order (normally the result of running the
@@ -356,20 +512,90 @@ func (e *Engine) Snapshot() *Snapshot {
 // simulator, so their refs are silently dropped — the decision's ranking of
 // the still-live flows remains worth applying.
 func (e *Engine) ApplyOrder(order []coflow.FlowRef, solveLatency time.Duration) error {
-	live := order[:0:0]
+	live := e.orderScratch[:0]
+	liveH := e.orderHandles[:0]
 	for _, r := range order {
-		if _, ok := e.sim.Status(r); ok {
+		if h, ok := e.handleFor(r); ok {
 			live = append(live, r)
+			liveH = append(liveH, h)
 		}
 	}
-	if err := e.sim.SetOrder(live); err != nil {
+	e.orderScratch, e.orderHandles = live, liveH
+	if err := e.sim.SetOrderHandles(liveH); err != nil {
 		return err
 	}
-	e.lastChurn = orderChurn(e.order, live)
+	e.lastChurn = e.churn(e.order, live)
 	e.order = append(e.order[:0], live...)
 	e.decisions++
 	e.solveLatencies.add(solveLatency.Seconds())
 	return nil
+}
+
+// churnRow resolves a flow reference to its churnPos row, nil once the
+// coflow's flows have been forgotten (or for out-of-range references).
+func (e *Engine) churnRow(r coflow.FlowRef) []uint64 {
+	if r.Coflow < 0 || r.Coflow >= len(e.churnPos) {
+		return nil
+	}
+	row := e.churnPos[r.Coflow]
+	if row == nil || r.Index < 0 || r.Index >= len(row) {
+		return nil
+	}
+	return row
+}
+
+// handleFor resolves a flow reference through the handle table — no map
+// lookup — returning ok only while the simulator still tracks the flow.
+func (e *Engine) handleFor(r coflow.FlowRef) (sim.Handle, bool) {
+	if r.Coflow < 0 || r.Coflow >= len(e.handles) {
+		return sim.Handle{}, false
+	}
+	hs := e.handles[r.Coflow]
+	if hs == nil || r.Index < 0 || r.Index >= len(hs) || !hs[r.Index].Valid() {
+		return sim.Handle{}, false
+	}
+	return hs[r.Index], true
+}
+
+// flowKnown reports whether the simulator still tracks the flow, answered
+// from the handle table so the per-decision order filter costs no map
+// lookups.
+func (e *Engine) flowKnown(r coflow.FlowRef) bool {
+	_, ok := e.handleFor(r)
+	return ok
+}
+
+// churn computes the order-churn fraction through the churnPos table: record
+// each old position under a fresh generation stamp, then count new entries
+// whose recorded position is missing or moved. References whose coflow has
+// been pruned simply never record a position — exactly the map-miss they
+// used to be.
+func (e *Engine) churn(old, new []coflow.FlowRef) float64 {
+	denom := len(old)
+	if len(new) > denom {
+		denom = len(new)
+	}
+	if denom == 0 {
+		return 0
+	}
+	e.churnGen++
+	gen := e.churnGen & 0xffffffff
+	for i, r := range old {
+		if row := e.churnRow(r); row != nil {
+			row[r.Index] = gen<<32 | uint64(uint32(i))
+		}
+	}
+	changed := len(old) - len(new)
+	if changed < 0 {
+		changed = 0
+	}
+	for i, r := range new {
+		row := e.churnRow(r)
+		if row == nil || row[r.Index]>>32 != gen || uint32(row[r.Index]) != uint32(i) {
+			changed++
+		}
+	}
+	return float64(changed) / float64(denom)
 }
 
 // orderChurn measures how much a new priority order disagrees with the one
@@ -491,6 +717,8 @@ func (e *Engine) collectCompletions() {
 			// a completed coflow is done by construction.
 			_ = e.sim.Forget(coflow.FlowRef{Coflow: id, Index: j})
 		}
+		e.handles[id] = nil // handles dangle once the flows are forgotten
+		e.churnPos[id] = nil
 		e.recentDone = append(e.recentDone, id)
 		closed = true
 	}
@@ -534,9 +762,13 @@ func (e *Engine) CoflowStatus(id int) (CoflowStatus, bool) {
 	// engine re-registers only the live flows of an active coflow, so its
 	// simulator never sees the flows that finished before the snapshot.
 	st.FlowsDone = st.NumFlows - e.flowsLeft[id]
+	hs := e.handles[id]
 	for j := range cf.Flows {
-		fs, ok := e.sim.Status(coflow.FlowRef{Coflow: id, Index: j})
-		if !ok || fs.Done {
+		if hs == nil || !hs[j].Valid() {
+			continue
+		}
+		fs := e.sim.HandleStatus(hs[j])
+		if fs.Done {
 			continue
 		}
 		st.RemainingBytes += fs.Remaining
@@ -562,9 +794,12 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // DecideSync takes a snapshot, runs the policy synchronously and applies the
-// resulting order. Idle snapshots (no residual coflows) apply nothing.
+// resulting order. Idle snapshots (no residual coflows) apply nothing. The
+// snapshot arena is reused across calls (snapshotInto), which the Policy
+// contract makes safe: Decide must not retain the snapshot after returning.
 func (e *Engine) DecideSync() error {
-	snap := e.Snapshot()
+	snap := &e.snapScratch
+	e.snapshotInto(snap)
 	if len(snap.Coflows) == 0 {
 		return nil
 	}

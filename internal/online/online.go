@@ -68,6 +68,15 @@ type Snapshot struct {
 	// Coflows lists arrived coflows with at least one unfinished flow,
 	// in arrival order.
 	Coflows []ResidualCoflow
+
+	// Decide-time scratch, reused when the engine recycles one Snapshot
+	// value across epochs (the synchronous decide path rebuilds snapScratch
+	// in place every tick). Reuse is safe because at most one Decide ever
+	// runs against a snapshot and the engine copies the returned order
+	// before the snapshot is rebuilt.
+	orderArena []coflow.FlowRef
+	idxArena   []int
+	keyArena   []float64
 }
 
 // NumFlows returns the number of residual flows across all coflows.
@@ -77,6 +86,24 @@ func (s *Snapshot) NumFlows() int {
 		n += len(cf.Flows)
 	}
 	return n
+}
+
+// ints returns the snapshot's reusable []int scratch, resized to n.
+func (s *Snapshot) ints(n int) []int {
+	if cap(s.idxArena) < n {
+		s.idxArena = make([]int, n)
+	}
+	s.idxArena = s.idxArena[:n]
+	return s.idxArena
+}
+
+// floats returns the snapshot's reusable []float64 scratch, resized to n.
+func (s *Snapshot) floats(n int) []float64 {
+	if cap(s.keyArena) < n {
+		s.keyArena = make([]float64, n)
+	}
+	s.keyArena = s.keyArena[:n]
+	return s.keyArena
 }
 
 // Policy decides the priority order for an epoch. Implementations must be

@@ -3,6 +3,7 @@ package online
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"coflowsched/internal/coflow"
@@ -24,14 +25,25 @@ func (FIFOOnline) Name() string { return "FIFOOnline" }
 
 // Decide implements Policy.
 func (FIFOOnline) Decide(snap *Snapshot) ([]coflow.FlowRef, error) {
-	cfs := append([]ResidualCoflow(nil), snap.Coflows...)
-	sort.SliceStable(cfs, func(i, j int) bool {
-		if cfs[i].Arrival != cfs[j].Arrival {
-			return cfs[i].Arrival < cfs[j].Arrival
+	idx := snap.ints(len(snap.Coflows))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortStableFunc(idx, func(a, b int) int {
+		ca, cb := &snap.Coflows[a], &snap.Coflows[b]
+		switch {
+		case ca.Arrival < cb.Arrival:
+			return -1
+		case ca.Arrival > cb.Arrival:
+			return 1
+		case ca.Index < cb.Index:
+			return -1
+		case ca.Index > cb.Index:
+			return 1
 		}
-		return cfs[i].Index < cfs[j].Index
+		return 0
 	})
-	return flattenOrder(cfs), nil
+	return flattenIndexed(snap, idx), nil
 }
 
 // SEBFOnline is Varys' Smallest Effective Bottleneck First recomputed on
@@ -46,33 +58,31 @@ func (SEBFOnline) Name() string { return "SEBFOnline" }
 
 // Decide implements Policy.
 func (SEBFOnline) Decide(snap *Snapshot) ([]coflow.FlowRef, error) {
-	type scored struct {
-		cf    ResidualCoflow
-		gamma float64
-	}
-	scoredCfs := make([]scored, 0, len(snap.Coflows))
-	for _, cf := range snap.Coflows {
-		loads := make([]graph.PathLoad, len(cf.Flows))
-		for j, f := range cf.Flows {
-			loads[j] = graph.PathLoad{Path: f.Path, Volume: f.Remaining}
+	idx := snap.ints(len(snap.Coflows))
+	gammas := snap.floats(len(snap.Coflows)) // keyed by coflow position, not rank
+	var loads []graph.PathLoad               // one scratch shared by every coflow's scoring
+	for i := range snap.Coflows {
+		cf := &snap.Coflows[i]
+		loads = loads[:0]
+		for j := range cf.Flows {
+			loads = append(loads, graph.PathLoad{Path: cf.Flows[j].Path, Volume: cf.Flows[j].Remaining})
 		}
 		gamma := snap.Network.BottleneckTime(loads)
 		if cf.Weight > 0 {
 			gamma /= cf.Weight
 		}
-		scoredCfs = append(scoredCfs, scored{cf, gamma})
+		idx[i], gammas[i] = i, gamma
 	}
-	sort.SliceStable(scoredCfs, func(i, j int) bool {
-		if scoredCfs[i].gamma != scoredCfs[j].gamma {
-			return scoredCfs[i].gamma < scoredCfs[j].gamma
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case gammas[a] < gammas[b]:
+			return -1
+		case gammas[a] > gammas[b]:
+			return 1
 		}
-		return scoredCfs[i].cf.Index < scoredCfs[j].cf.Index
+		return snap.Coflows[a].Index - snap.Coflows[b].Index
 	})
-	cfs := make([]ResidualCoflow, len(scoredCfs))
-	for i, s := range scoredCfs {
-		cfs[i] = s.cf
-	}
-	return flattenOrder(cfs), nil
+	return flattenIndexed(snap, idx), nil
 }
 
 // LPEpoch re-solves the paper's interval-indexed LP (internal/core) on the
@@ -222,14 +232,16 @@ func (o *Oracle) Decide(snap *Snapshot) ([]coflow.FlowRef, error) {
 	return order, nil
 }
 
-// flattenOrder expands an ordered coflow list into a flow priority order
-// (flows within a coflow in index order).
-func flattenOrder(cfs []ResidualCoflow) []coflow.FlowRef {
-	var order []coflow.FlowRef
-	for _, cf := range cfs {
-		for _, f := range cf.Flows {
+// flattenIndexed expands a coflow permutation (indices into snap.Coflows)
+// into a flow priority order (flows within a coflow in index order), backed
+// by the snapshot's reusable order arena.
+func flattenIndexed(snap *Snapshot, idx []int) []coflow.FlowRef {
+	order := snap.orderArena[:0]
+	for _, i := range idx {
+		for _, f := range snap.Coflows[i].Flows {
 			order = append(order, f.Ref)
 		}
 	}
+	snap.orderArena = order
 	return order
 }

@@ -75,3 +75,76 @@ func BenchmarkAdmit(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAdmitParallel is the durability budget's workload: concurrent
+// admissions, the shape the admission path is built for. The serial
+// BenchmarkAdmit issues one admission at a time, so every wal=on iteration
+// necessarily pays a private fsync and the wal/no-wal ratio measures raw
+// fsync latency rather than the admit path — that is the number that blew
+// the wal-overhead budget before admissions were coalesced. Here concurrent
+// requests coalesce into scheduler batches that share one channel round-trip
+// and one group commit, so the wal=on/wal=off ratio reflects the amortized
+// durability cost an actual multi-client daemon pays. scripts/bench_wal.sh
+// records this variant's ratio against the admit-overhead budget and keeps
+// the serial variant as a labeled diagnostic series.
+func BenchmarkAdmitParallel(b *testing.B) {
+	for _, walled := range []bool{false, true} {
+		name := "wal=off"
+		if walled {
+			name = "wal=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{
+				Network:     graph.FatTree(4, 1),
+				Policy:      online.SEBFOnline{},
+				EpochLength: 2,
+				TimeScale:   1e-9,
+			}
+			if walled {
+				cfg.WALDir = b.TempDir()
+				cfg.SnapshotInterval = -1
+			}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatalf("new server: %v", err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer func() {
+				ts.Close()
+				s.Close()
+			}()
+			hosts := graph.FatTree(4, 1).Hosts()
+			cf := coflow.Coflow{
+				Name: "bench", Weight: 1,
+				Flows: []coflow.Flow{
+					{Source: hosts[0], Dest: hosts[5], Size: 10},
+					{Source: hosts[2], Dest: hosts[9], Size: 10},
+				},
+			}
+			// Many more submitters than GOMAXPROCS: admissions block on I/O
+			// (HTTP + fsync), not CPU, so extra in-flight requests deepen the
+			// coalescing batches — and the group-commit folds — the way a
+			// crowd of concurrent clients would.
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := NewClient(ts.URL)
+				for pb.Next() {
+					if _, err := c.Admit(cf); err != nil {
+						b.Errorf("admit: %v", err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if batches := s.metrics.admitBatches.Value(); batches > 0 {
+				b.ReportMetric(float64(b.N)/batches, "admits/batch")
+			}
+			if s.wal != nil {
+				if _, syncs := s.wal.Stats(); syncs > 0 {
+					b.ReportMetric(float64(b.N)/float64(syncs), "admits/fsync")
+				}
+			}
+		})
+	}
+}

@@ -136,7 +136,7 @@ func recoverState(cfg Config) (*recovery, error) {
 		idem:     make(map[string]idemEntry),
 		traceIDs: make(map[int]string),
 	}
-	engCfg := online.Config{EpochLength: cfg.EpochLength, CandidatePaths: cfg.CandidatePaths}
+	engCfg := online.Config{EpochLength: cfg.EpochLength, CandidatePaths: cfg.CandidatePaths, Partitions: cfg.Partitions}
 	if ok {
 		rec.eng, err = online.RestoreEngine(cfg.Network, cfg.Policy, engCfg, persist.Engine)
 		if err != nil {
@@ -309,6 +309,11 @@ func (s *Server) maybeSnapshot() {
 func (s *Server) shutdown(abandon bool) {
 	s.closeOnce.Do(func() { close(s.quit) })
 	<-s.stopped
+	if s.committerDone != nil {
+		// The scheduler's exit closed commitC; wait for the committer to drain
+		// it and release every admission waiter before pulling the log away.
+		<-s.committerDone
+	}
 	if s.wal != nil {
 		s.walOnce.Do(func() {
 			if abandon {

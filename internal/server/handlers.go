@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"coflowsched/internal/coflow"
-	"coflowsched/internal/durable"
 	"coflowsched/internal/online"
 	"coflowsched/internal/stats"
 	"coflowsched/internal/telemetry"
@@ -167,58 +166,18 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	// and with a WAL the key survives a daemon restart.
 	key := r.Header.Get(IdemHeader)
 	t0 := time.Now()
-	var resp AdmitResponse
-	var admitErr, walErr error
-	var seq uint64
-	var dup bool
-	err := s.do(func() {
-		if key != "" {
-			if prev, ok := s.idem[key]; ok {
-				resp, seq, dup = prev.resp, prev.seq, true
-				return
-			}
-		}
-		if s.draining {
-			admitErr = errDraining
-			return
-		}
-		// A fail-stopped log rejects the admission before the engine mutates:
-		// retries against a daemon that cannot persist must not pile
-		// never-durable coflows into memory.
-		if s.wal != nil {
-			if walErr = s.wal.Err(); walErr != nil {
-				return
-			}
-		}
-		now := s.simNow()
-		id, err := s.eng.Admit(cf, now)
-		if err != nil {
-			admitErr = err
-			return
-		}
-		s.traceIDs[id] = trace
-		resp = AdmitResponse{ID: id, Name: cf.Name, Arrival: now, Trace: trace}
-		if s.wal != nil {
-			seq, walErr = s.walAppend(&durable.Record{Type: durable.RecAdmit, Admit: &durable.AdmitRecord{
-				ID: id, Now: now, Key: key, Trace: trace, Spec: cf,
-			}})
-		}
-		// Cache the dedupe entry only for admissions that reached the log: a
-		// failed append 503s, and the retry must NOT replay a 201 for an
-		// admission that was never durable. (Snapshot-restored entries carry
-		// seq 0 and are safe — the snapshot itself covers them.)
-		if key != "" && walErr == nil {
-			s.idem[key] = idemEntry{resp: resp, seq: seq}
-			s.idemByID[resp.ID] = key
-		}
-	})
-	// The fsync wait happens off the scheduler goroutine, so a slow disk
-	// stalls this request, not the epoch loop; concurrent admissions share
-	// the sync (group commit). A duplicate whose original append has not been
-	// committed yet waits for the same durability point before re-acking.
-	if err == nil && admitErr == nil && walErr == nil && s.wal != nil && seq > 0 {
-		walErr = s.wal.Commit(seq)
-	}
+	// Admissions go through the coalescing queue, not s.do: everything queued
+	// behind one scheduler receive is admitted as a single batch — one channel
+	// round-trip and one WAL group commit for all of it (see admit.go).
+	req := &admitReq{cf: cf, key: key, trace: trace, done: make(chan struct{})}
+	// submitAdmit returns after the batch's records are durable: the committer
+	// goroutine group-commits the fsync for the whole batch (and any batches
+	// queued behind it) before releasing the waiters, so a slow disk stalls
+	// this request, not the epoch loop. A duplicate replays only after the
+	// same durability point — its original append is covered by the commit.
+	err := s.submitAdmit(req)
+	resp, dup := req.resp, req.dup
+	admitErr, walErr := req.admitErr, req.walErr
 	if err == nil && admitErr == nil && walErr == nil && !dup {
 		s.tracer.Record(telemetry.Span{
 			Name:     "shard-admit",

@@ -37,6 +37,8 @@ type serverMetrics struct {
 	requests         *telemetry.Counter
 	requestErrors    *telemetry.Counter
 	tickDuration     *telemetry.Histogram
+	admitBatches     *telemetry.Counter
+	admitBatchSize   *telemetry.Histogram
 	traceSpans       *telemetry.Counter
 	walRecords       *telemetry.Counter
 	walFsyncs        *telemetry.Counter
@@ -77,6 +79,8 @@ func newServerMetrics(shard string) *serverMetrics {
 		requests:         reg.Counter("coflowd_http_requests_total", "HTTP requests served"),
 		requestErrors:    reg.Counter("coflowd_http_request_errors_total", "HTTP requests answered with a 4xx/5xx status"),
 		tickDuration:     reg.Histogram("coflowd_tick_duration_seconds", "scheduler tick duration distribution", nil),
+		admitBatches:     reg.Counter("coflowd_admit_batches_total", "coalesced admission batches processed by the scheduler"),
+		admitBatchSize:   reg.Histogram("coflowd_admit_batch_size", "admissions coalesced per scheduler batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		traceSpans:       reg.Counter("coflowd_trace_spans_total", "lifecycle trace spans recorded"),
 		walRecords:       reg.Counter("coflowd_wal_records_total", "write-ahead log records appended this process"),
 		walFsyncs:        reg.Counter("coflowd_wal_fsyncs_total", "write-ahead log fsync calls (group commit batches)"),

@@ -50,6 +50,10 @@ type Config struct {
 	TimeScale float64
 	// CandidatePaths bounds admission-time routing (default 4).
 	CandidatePaths int
+	// Partitions > 1 runs the engine's simulator core on the pod-partitioned
+	// parallel allocator with at most that many classes; 0 or 1 selects the
+	// sequential core. Bit-identical either way (see online.Config).
+	Partitions int
 	// Shard, when non-empty, is this daemon's identity in a multi-backend
 	// cluster: every /metrics line gains a {shard="..."} label so metrics
 	// scraped from several backends by one gateway stay distinguishable.
@@ -127,16 +131,24 @@ var errDraining = errors.New("server: draining, not accepting new coflows")
 // Server is the coflowd service: an engine, the scheduler goroutine that
 // owns it, and the HTTP API in handlers.go.
 type Server struct {
-	cfg       Config
-	eng       *online.Engine
-	cmds      chan func()
-	quit      chan struct{}
-	stopped   chan struct{}
-	closeOnce sync.Once
-	start     time.Time
-	metrics   *serverMetrics
-	tracer    *telemetry.Tracer
-	logger    *slog.Logger
+	cfg     Config
+	eng     *online.Engine
+	cmds    chan func()
+	admitC  chan *admitReq
+	quit    chan struct{}
+	stopped chan struct{}
+	// Durability pipeline (nil without a WAL): the scheduler hands each
+	// admission batch that appended log records to commitC, and the committer
+	// goroutine serializes the group-commit fsyncs — see committer in admit.go.
+	// batchFree recycles batch buffers between the two goroutines.
+	commitC       chan []*admitReq
+	committerDone chan struct{}
+	batchFree     chan []*admitReq
+	closeOnce     sync.Once
+	start         time.Time
+	metrics       *serverMetrics
+	tracer        *telemetry.Tracer
+	logger        *slog.Logger
 
 	// Durability (nil without Config.WALDir). simBase offsets the wall-clock
 	// mapping so a recovered engine's simulation clock continues from where
@@ -149,6 +161,8 @@ type Server struct {
 	// Owned by the scheduler goroutine.
 	solving  bool
 	draining bool
+	// admitScratch is processAdmits' reusable batch buffer.
+	admitScratch []*admitReq
 	// idem deduplicates admissions by X-Coflow-Id. It is bounded: idemByID
 	// maps live coflow ids back to their keys, and when a coflow completes its
 	// entry moves onto idemTombs (expiry-ordered) and is dropped once the
@@ -205,6 +219,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		cmds:     make(chan func()),
+		admitC:   make(chan *admitReq, admitQueueDepth),
 		quit:     make(chan struct{}),
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
@@ -219,6 +234,7 @@ func New(cfg Config) (*Server, error) {
 		s.eng, err = online.NewEngine(cfg.Network, cfg.Policy, online.Config{
 			EpochLength:    cfg.EpochLength,
 			CandidatePaths: cfg.CandidatePaths,
+			Partitions:     cfg.Partitions,
 		})
 		if err != nil {
 			return nil, err
@@ -248,6 +264,12 @@ func New(cfg Config) (*Server, error) {
 				"sim_now", s.simBase)
 		}
 	}
+	if s.wal != nil {
+		s.commitC = make(chan []*admitReq, commitQueueDepth)
+		s.committerDone = make(chan struct{})
+		s.batchFree = make(chan []*admitReq, commitQueueDepth)
+		go s.committer()
+	}
 	go s.loop()
 	return s, nil
 }
@@ -275,6 +297,13 @@ func (s *Server) wallEpoch() time.Duration {
 // drives the epoch clock.
 func (s *Server) loop() {
 	defer close(s.stopped)
+	// The scheduler is the only sender on commitC, so closing it here is the
+	// committer's clean shutdown signal: it drains what is queued, releases
+	// every waiter, and exits (shutdown waits on committerDone before closing
+	// the log underneath it).
+	if s.commitC != nil {
+		defer close(s.commitC)
+	}
 	tick := time.NewTicker(s.wallEpoch())
 	defer tick.Stop()
 	var snapC <-chan time.Time
@@ -289,6 +318,8 @@ func (s *Server) loop() {
 			return
 		case op := <-s.cmds:
 			op()
+		case req := <-s.admitC:
+			s.processAdmits(req)
 		case <-tick.C:
 			s.tick()
 		case <-snapC:

@@ -215,6 +215,38 @@ func (h *releaseHeap) Pop() *flowState {
 	return top
 }
 
+// Remove deletes one specific entry, restoring the heap property around the
+// hole. O(n) search: it serves only Simulator.Remove's admission-rollback
+// path, where the heap holds the handful of not-yet-released flows.
+func (h *releaseHeap) Remove(st *flowState) bool {
+	for i, f := range h.fs {
+		if f != st {
+			continue
+		}
+		n := len(h.fs) - 1
+		h.fs[i] = h.fs[n]
+		h.fs[n] = nil
+		h.fs = h.fs[:n]
+		if i < n {
+			h.siftDown(i)
+			h.siftUp(i)
+		}
+		return true
+	}
+	return false
+}
+
+func (h *releaseHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !releaseLess(h.fs[i], h.fs[p]) {
+			return
+		}
+		h.fs[p], h.fs[i] = h.fs[i], h.fs[p]
+		i = p
+	}
+}
+
 func (h *releaseHeap) siftDown(i int) {
 	n := len(h.fs)
 	for {

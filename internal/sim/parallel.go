@@ -1,0 +1,266 @@
+package sim
+
+// Partition-parallel dirty-suffix reallocation.
+//
+// The greedy priority allocator's per-edge arithmetic decomposes cleanly
+// along a partition of the edge set (internal/graph.EdgePartition — for
+// fat-trees, one class per pod): every edge belongs to exactly one class, so
+// one worker per class can replay its class's residual operations with no
+// synchronization at all for flows whose path stays inside the class. The
+// result is bit-identical to the sequential walk because
+//
+//   - per-edge operation order is preserved: a class's worker processes its
+//     queue in active-set order, and all reads/writes of an edge's residual
+//     happen on the one worker owning its class;
+//   - a cross-class flow's rate is min over its path's residuals, and min is
+//     exact and order-independent in floating point, so folding per-class
+//     partial minima reproduces the sequential value bit for bit;
+//   - a worker reaching a cross-class flow blocks until every other touching
+//     class has contributed its partial minimum and the full rate is
+//     resolved, then subtracts the rate from its own class's edges before
+//     moving on — so even around cross flows, each edge sees the exact
+//     sequential read/write sequence;
+//   - rate *application* (setRate: residual materialization, segment close,
+//     completion-heap push) is deferred to a sequential walk of the suffix
+//     in active order after the workers join, so heap contents and segment
+//     logs are constructed in the sequential order too.
+//
+// Deadlock-freedom: queues are built from one ordered walk of the suffix, so
+// any two workers see shared cross flows in the same relative order. A
+// worker blocked at cross flow f waits only for workers that have not yet
+// reached f; every such worker sits at a strictly earlier queue position,
+// and the earliest pending cross flow in the system always has all its
+// contributors unblocked ahead of it, so some worker always progresses.
+//
+// FairShare is a global progressive-filling computation with no suffix
+// structure and stays sequential regardless of partitioning.
+
+import (
+	"math"
+	"sync"
+)
+
+// parallelMinSuffix is the suffix length below which the fan-out overhead
+// (queue build, goroutine launch, join) outweighs the parallel win and the
+// sequential walk is used. A variable, not a constant, so tests can force
+// the parallel path onto small workloads.
+var parallelMinSuffix = 64
+
+// parallelRounds counts redo walks that actually fanned out (≥2 busy
+// classes). Only the coordinator increments it; tests read it to prove the
+// parallel path was exercised rather than silently skipped.
+var parallelRounds int
+
+// parItem is one entry of a class worker's queue. cs is nil for flows owned
+// entirely by the worker's class.
+type parItem struct {
+	st *flowState
+	cs *crossFlow
+}
+
+// crossFlow is the rendezvous record for one cross-class flow: touching
+// workers fold their class-local minima into partial, and the last one to
+// arrive resolves the final rate and releases the rest.
+type crossFlow struct {
+	mu      sync.Mutex
+	partial float64
+	waiting int32 // contributions still outstanding
+	rate    float64
+	done    chan struct{} // buffered; resolver posts one token per waiter
+}
+
+// parRealloc is the reusable parallel-redo scratch: per-class queues and a
+// free list of crossFlow records (their channels drain completely each
+// round, so records recycle without reallocation).
+type parRealloc struct {
+	queues [][]parItem
+	cross  []*crossFlow
+	used   int
+	wg     sync.WaitGroup
+}
+
+// classify assigns the flow's partition placement: the owning class when
+// every path edge lives in one class, else -1 plus the sorted list of
+// touched classes. No-op cost when the simulator is unpartitioned.
+func (s *Simulator) classify(st *flowState) {
+	if s.ep == nil || len(st.path) == 0 {
+		st.part = 0
+		return
+	}
+	first := int32(s.ep.EdgePart(st.path[0]))
+	cross := false
+	for _, e := range st.path[1:] {
+		if int32(s.ep.EdgePart(e)) != first {
+			cross = true
+			break
+		}
+	}
+	if !cross {
+		st.part = first
+		return
+	}
+	st.part = -1
+	st.parts = st.parts[:0]
+	for _, e := range st.path {
+		c := int32(s.ep.EdgePart(e))
+		seen := false
+		for _, x := range st.parts {
+			if x == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			st.parts = append(st.parts, c)
+		}
+	}
+	// Paths are a handful of edges, so insertion keeps this O(len(path)²)
+	// scan cheaper than sorting machinery; order the classes ascending.
+	for i := 1; i < len(st.parts); i++ {
+		for j := i; j > 0 && st.parts[j] < st.parts[j-1]; j-- {
+			st.parts[j], st.parts[j-1] = st.parts[j-1], st.parts[j]
+		}
+	}
+}
+
+// takeCross checks a crossFlow record out of the free list, growing it on
+// demand. Channels are sized for the worst case (every class waiting).
+func (p *parRealloc) takeCross(nparts int, touched int) *crossFlow {
+	var cf *crossFlow
+	if p.used < len(p.cross) {
+		cf = p.cross[p.used]
+	} else {
+		cf = &crossFlow{done: make(chan struct{}, nparts)}
+		p.cross = append(p.cross, cf)
+	}
+	p.used++
+	cf.partial = math.Inf(1)
+	cf.waiting = int32(touched)
+	cf.rate = 0
+	return cf
+}
+
+// redoParallel is the partitioned form of the redo walk: build per-class
+// queues from one ordered pass over the suffix, run one worker per busy
+// class, then apply the computed rates in active order.
+func (s *Simulator) redoParallel(start *activeNode, now float64) {
+	p := s.par
+	if p == nil {
+		p = &parRealloc{queues: make([][]parItem, s.ep.Parts())}
+		s.par = p
+	}
+	for i := range p.queues {
+		p.queues[i] = p.queues[i][:0]
+	}
+	p.used = 0
+	for n := start; n != nil; n = n.next[0] {
+		st := n.st
+		if st.part >= 0 {
+			p.queues[st.part] = append(p.queues[st.part], parItem{st: st})
+			continue
+		}
+		cf := p.takeCross(s.ep.Parts(), len(st.parts))
+		for _, c := range st.parts {
+			p.queues[c] = append(p.queues[c], parItem{st: st, cs: cf})
+		}
+	}
+	busy := 0
+	for c := range p.queues {
+		if len(p.queues[c]) > 0 {
+			busy++
+		}
+	}
+	if busy <= 1 {
+		// One busy class: the sequential walk is the same computation
+		// without the handoff.
+		for n := start; n != nil; n = n.next[0] {
+			s.allocGreedy(n.st, now)
+		}
+		return
+	}
+	parallelRounds++
+	p.wg.Add(busy)
+	for c := range p.queues {
+		if len(p.queues[c]) > 0 {
+			go s.classWorker(int32(c), p.queues[c], &p.wg)
+		}
+	}
+	p.wg.Wait()
+	// Ordered apply: the exact setRate call sequence of the sequential walk,
+	// so completion-heap pushes, segment closures and posRates bookkeeping
+	// are reconstructed in sequential order.
+	for n := start; n != nil; n = n.next[0] {
+		st := n.st
+		if st.pendingRate != st.rate {
+			s.setRate(st, st.pendingRate, now)
+		}
+	}
+}
+
+// classWorker replays one class's share of the redo walk. It touches only
+// residuals of edges its class owns; flowState writes are confined to the
+// single owner (intra flows) or the resolving worker (cross flows), and the
+// coordinator reads them only after the WaitGroup join.
+func (s *Simulator) classWorker(c int32, queue []parItem, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ep := s.ep
+	for _, it := range queue {
+		st := it.st
+		if it.cs == nil {
+			// Intra-class flow: the sequential allocGreedy computation, with
+			// the rate parked for the ordered apply walk.
+			r := math.Inf(1)
+			for _, e := range st.path {
+				if s.residual[e] < r {
+					r = s.residual[e]
+				}
+			}
+			if r < minRate || math.IsInf(r, 1) {
+				r = 0
+			}
+			st.pendingRate = r
+			if r > 0 {
+				for _, e := range st.path {
+					s.residual[e] -= r
+				}
+			}
+			continue
+		}
+		// Cross-class flow: contribute this class's partial minimum, resolve
+		// or wait for the full rate, then charge this class's edges.
+		cf := it.cs
+		local := math.Inf(1)
+		for _, e := range st.path {
+			if int32(ep.EdgePart(e)) == c && s.residual[e] < local {
+				local = s.residual[e]
+			}
+		}
+		cf.mu.Lock()
+		if local < cf.partial {
+			cf.partial = local
+		}
+		cf.waiting--
+		if cf.waiting == 0 {
+			r := cf.partial
+			if r < minRate || math.IsInf(r, 1) {
+				r = 0
+			}
+			cf.rate = r
+			st.pendingRate = r
+			cf.mu.Unlock()
+			for i := 0; i < len(st.parts)-1; i++ {
+				cf.done <- struct{}{}
+			}
+		} else {
+			cf.mu.Unlock()
+			<-cf.done
+		}
+		if r := cf.rate; r > 0 {
+			for _, e := range st.path {
+				if int32(ep.EdgePart(e)) == c {
+					s.residual[e] -= r
+				}
+			}
+		}
+	}
+}

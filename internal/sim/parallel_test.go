@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coflowsched/internal/coflow"
+	"coflowsched/internal/graph"
+	"coflowsched/internal/workload"
+)
+
+// forceParallel lowers the fan-out threshold so even the small differential
+// workloads exercise the partitioned redo path, restoring it on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelMinSuffix
+	parallelMinSuffix = 1
+	t.Cleanup(func() { parallelMinSuffix = old })
+}
+
+// partitionsFor builds the partition configurations for the sweep: nil for
+// the sequential baseline, then the pod partition coalesced to each target
+// class count (a line topology has one natural class, so every coalesced
+// form degenerates to the sequential walk — which the sweep must also leave
+// bit-identical).
+func partitionsFor(g *graph.Graph, want int) *graph.EdgePartition {
+	if want <= 1 {
+		return nil
+	}
+	return g.PodPartition().Coalesce(want)
+}
+
+// TestParallelPartitionSweep is the tentpole's safety net: for partition
+// counts 1/2/4/8 × {Priority, FairShare} × {fat-tree, line}, completion
+// times must match the naive reference to 1e-9 AND be bit-identical to the
+// unpartitioned incremental run regardless of partition count.
+func TestParallelPartitionSweep(t *testing.T) {
+	forceParallel(t)
+	rounds := parallelRounds
+	t.Cleanup(func() {
+		if parallelRounds == rounds {
+			t.Errorf("sweep never exercised the parallel redo path")
+		}
+	})
+	for name, g := range diffTopologies() {
+		for _, policy := range []Policy{Priority, FairShare} {
+			pname := "priority"
+			if policy == FairShare {
+				pname = "fairshare"
+			}
+			t.Run(name+"/"+pname, func(t *testing.T) {
+				for seed := int64(1); seed <= 4; seed++ {
+					inst := diffInstance(t, g, seed*31, 8, 4)
+					cfg := Config{Policy: policy}
+					if policy == Priority {
+						order := inst.FlowRefs()
+						rng := rand.New(rand.NewSource(seed * 17))
+						rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+						cfg.Order = order
+					}
+					base, err := Run(inst, cfg)
+					if err != nil {
+						t.Fatalf("seed %d: sequential run: %v", seed, err)
+					}
+					want, err := RunReference(inst, cfg)
+					if err != nil {
+						t.Fatalf("seed %d: reference run: %v", seed, err)
+					}
+					assertSchedulesMatch(t, inst.FlowRefs(), base, want)
+					for _, parts := range []int{2, 4, 8} {
+						pcfg := cfg
+						pcfg.Partition = partitionsFor(g, parts)
+						got, err := Run(inst, pcfg)
+						if err != nil {
+							t.Fatalf("seed %d parts %d: parallel run: %v", seed, parts, err)
+						}
+						for _, ref := range inst.FlowRefs() {
+							gf, bf := got.Get(ref), base.Get(ref)
+							if gf.CompletionTime() != bf.CompletionTime() {
+								t.Errorf("seed %d parts %d flow %s: completion %v != sequential %v (not bit-identical)",
+									seed, parts, ref, gf.CompletionTime(), bf.CompletionTime())
+							}
+							if gf.Delivered() != bf.Delivered() {
+								t.Errorf("seed %d parts %d flow %s: delivered %v != sequential %v",
+									seed, parts, ref, gf.Delivered(), bf.Delivered())
+							}
+						}
+						assertSchedulesMatch(t, inst.FlowRefs(), got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelSteppedChurn drives a partitioned simulator through the online
+// engine's call pattern — AddFlow mid-run, SetOrder every epoch, Forget on
+// completion — in lockstep with an unpartitioned twin, asserting exact state
+// agreement at every boundary. This is where cross-partition rendezvous and
+// suffix reallocation interleave hardest.
+func TestParallelSteppedChurn(t *testing.T) {
+	forceParallel(t)
+	g := graph.FatTree(4, 1)
+	part := g.PodPartition()
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 41))
+		inst, _, err := workload.GenerateArrivals(g, workload.ArrivalConfig{
+			Config: workload.Config{NumCoflows: 10, Width: 4, MeanSize: 4},
+			Rate:   1.5,
+		}, rng)
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		if err := inst.AssignShortestPaths(); err != nil {
+			t.Fatalf("paths: %v", err)
+		}
+		refs := inst.FlowRefs()
+		empty := func() *coflow.Instance { return &coflow.Instance{Network: g} }
+		seq, err := New(empty(), Config{Policy: Priority})
+		if err != nil {
+			t.Fatalf("new sequential: %v", err)
+		}
+		par, err := New(empty(), Config{Policy: Priority, Partition: part})
+		if err != nil {
+			t.Fatalf("new parallel: %v", err)
+		}
+		stream := append([]coflow.FlowRef(nil), refs...)
+		for i := 1; i < len(stream); i++ {
+			for j := i; j > 0 && inst.Flow(stream[j]).Release < inst.Flow(stream[j-1]).Release; j-- {
+				stream[j], stream[j-1] = stream[j-1], stream[j]
+			}
+		}
+		next := 0
+		var live []coflow.FlowRef
+		const epoch = 1.5
+		for now := 0.0; ; now += epoch {
+			if now > 500*inst.TimeHorizon() {
+				t.Fatalf("seed %d: churn did not finish", seed)
+			}
+			for next < len(stream) && inst.Flow(stream[next]).Release <= now+epoch {
+				r := stream[next]
+				f := *inst.Flow(r)
+				if err := seq.AddFlow(r, f, nil); err != nil {
+					t.Fatalf("sequential AddFlow %s: %v", r, err)
+				}
+				if err := par.AddFlow(r, f, nil); err != nil {
+					t.Fatalf("parallel AddFlow %s: %v", r, err)
+				}
+				live = append(live, r)
+				next++
+			}
+			order := append([]coflow.FlowRef(nil), live...)
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			if err := seq.SetOrder(order); err != nil {
+				t.Fatalf("sequential SetOrder: %v", err)
+			}
+			if err := par.SetOrder(order); err != nil {
+				t.Fatalf("parallel SetOrder: %v", err)
+			}
+			if err := seq.RunUntil(now + epoch); err != nil {
+				t.Fatalf("sequential RunUntil: %v", err)
+			}
+			if err := par.RunUntil(now + epoch); err != nil {
+				t.Fatalf("parallel RunUntil: %v", err)
+			}
+			gotRes, wantRes := par.Residuals(), seq.Residuals()
+			if len(gotRes) != len(wantRes) {
+				t.Fatalf("seed %d t=%v: %d residuals vs %d", seed, now, len(gotRes), len(wantRes))
+			}
+			for i := range wantRes {
+				if gotRes[i].Remaining != wantRes[i].Remaining {
+					t.Errorf("seed %d t=%v flow %s: remaining %v != sequential %v (not bit-identical)",
+						seed, now, wantRes[i].Ref, gotRes[i].Remaining, wantRes[i].Remaining)
+				}
+				if gotRes[i].Completion != wantRes[i].Completion {
+					t.Errorf("seed %d t=%v flow %s: completion %v != sequential %v",
+						seed, now, wantRes[i].Ref, gotRes[i].Completion, wantRes[i].Completion)
+				}
+			}
+			stillLive := live[:0]
+			for _, r := range live {
+				fs, ok := seq.Status(r)
+				if !ok {
+					continue
+				}
+				if fs.Done {
+					if err := seq.Forget(r); err != nil {
+						t.Fatalf("sequential Forget %s: %v", r, err)
+					}
+					if err := par.Forget(r); err != nil {
+						t.Fatalf("parallel Forget %s: %v", r, err)
+					}
+					continue
+				}
+				stillLive = append(stillLive, r)
+			}
+			live = stillLive
+			if next == len(stream) && seq.Done() && par.Done() {
+				break
+			}
+		}
+	}
+}
+
+// TestRemovePendingFlow checks the admission-rollback primitive: adding and
+// removing a pending flow leaves the simulator's observable state unchanged,
+// and removal of released/unknown flows is rejected.
+func TestRemovePendingFlow(t *testing.T) {
+	g := graph.Line(4, 1)
+	inst := diffInstance(t, g, 7, 4, 3)
+	s, err := New(inst, Config{Order: inst.FlowRefs(), Policy: Priority})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	// Advance until at least one flow has been released.
+	for tEnd := 1.0; ; tEnd *= 2 {
+		if err := s.RunUntil(tEnd); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		released := false
+		for _, st := range s.states {
+			if st.node != nil || st.done {
+				released = true
+				break
+			}
+		}
+		if released {
+			break
+		}
+		if tEnd > 1e6 {
+			t.Fatalf("no flow ever released")
+		}
+	}
+	before := s.Residuals()
+	ref := coflow.FlowRef{Coflow: 900, Index: 0}
+	f := coflow.Flow{Source: 0, Dest: 3, Size: 5, Release: s.Now() + 1}
+	path := g.ShortestPath(0, 3)
+	if err := s.AddFlow(ref, f, path); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if err := s.Remove(ref); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, ok := s.Status(ref); ok {
+		t.Fatalf("removed flow still registered")
+	}
+	after := s.Residuals()
+	if len(after) != len(before) {
+		t.Fatalf("residual count changed: %d != %d", len(after), len(before))
+	}
+	for i := range before {
+		b, a := before[i], after[i]
+		if b.Ref != a.Ref || b.Remaining != a.Remaining || b.Done != a.Done || b.Completion != a.Completion {
+			t.Fatalf("flow %s state changed across add+remove", b.Ref)
+		}
+	}
+	if err := s.Remove(ref); err == nil {
+		t.Fatalf("removing unknown flow succeeded")
+	}
+	// A released (active or done) flow must be rejected.
+	released := coflow.FlowRef{Coflow: -1}
+	for r, st := range s.states {
+		if st.node != nil || st.done {
+			released = r
+			break
+		}
+	}
+	if released.Coflow == -1 {
+		t.Fatalf("no released flow to probe")
+	}
+	if err := s.Remove(released); err == nil {
+		t.Fatalf("removing released flow succeeded")
+	}
+	// The simulator still runs to completion afterwards.
+	if err := s.RunUntil(math.Inf(1)); err != nil {
+		t.Fatalf("run to completion: %v", err)
+	}
+	if !s.Done() {
+		t.Fatalf("simulation did not finish")
+	}
+}

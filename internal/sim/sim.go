@@ -72,6 +72,14 @@ type Config struct {
 	Order []coflow.FlowRef
 	// Policy selects the bandwidth-assignment policy.
 	Policy Policy
+	// Partition optionally enables partition-parallel reallocation under the
+	// Priority policy: the dirty-suffix redo runs one worker per partition
+	// class, with a deterministic rendezvous for flows whose path crosses
+	// classes (see parallel.go). Results are bit-identical to the sequential
+	// walk for any partition. Must cover every edge of the instance network;
+	// nil (or a single-class partition) keeps the redo sequential. FairShare
+	// is a global computation and ignores it.
+	Partition *graph.EdgePartition
 }
 
 // completionTol treats a flow as finished once its remaining volume drops
@@ -116,6 +124,17 @@ type flowState struct {
 
 	heapSeq int         // invalidates stale completion-heap entries
 	node    *activeNode // active-set membership (nil while pending or done)
+
+	orderSeq uint64 // SetOrder stamp: membership in the current order
+
+	// Partition placement, computed once at registration when the simulator
+	// runs partitioned (see parallel.go). part is the class owning every edge
+	// of the path, or -1 for a cross-class flow, in which case parts lists
+	// the distinct classes touched, ascending. pendingRate carries a parallel
+	// worker's computed rate to the ordered apply walk.
+	part        int32
+	parts       []int32
+	pendingRate float64
 }
 
 // admittedRank is the priority rank of flows added mid-run (Simulator.AddFlow)
@@ -168,6 +187,10 @@ type Simulator struct {
 	caps     []float64 // edge capacities (rebase source)
 	residual []float64 // per-edge residual capacity under current rates
 	eventSeq int       // reallocation counter, drives periodic rebasing
+	orderGen uint64    // SetOrder stamp generation
+
+	ep  *graph.EdgePartition // non-nil: partition-parallel redo enabled
+	par *parRealloc          // parallel-redo scratch, built on first use
 
 	completions []CompletionEvent // log drained by TakeCompletions
 
@@ -203,6 +226,12 @@ func New(inst *coflow.Instance, cfg Config) (*Simulator, error) {
 		s.caps[i] = g.Capacity(graph.EdgeID(i))
 	}
 	copy(s.residual, s.caps)
+	if ep := cfg.Partition; ep != nil && ep.Parts() > 1 {
+		if ep.NumEdges() != g.NumEdges() {
+			return nil, fmt.Errorf("sim: partition covers %d edges, network has %d", ep.NumEdges(), g.NumEdges())
+		}
+		s.ep = ep
+	}
 	for _, r := range refs {
 		f := inst.Flow(r)
 		path := f.Path
@@ -223,6 +252,7 @@ func New(inst *coflow.Instance, cfg Config) (*Simulator, error) {
 			size:      f.Size,
 			lastT:     f.Release,
 		}
+		s.classify(st)
 		s.states[r] = st
 		s.pending.Push(st)
 	}
@@ -251,23 +281,94 @@ func (s *Simulator) Done() bool { return s.numDone == len(s.states) }
 // must not contain duplicates or unknown flows. It is ignored under the
 // FairShare policy.
 func (s *Simulator) SetOrder(order []coflow.FlowRef) error {
-	rank := make(map[coflow.FlowRef]int, len(order))
-	for i, r := range order {
-		if _, dup := rank[r]; dup {
-			return fmt.Errorf("sim: flow %s appears twice in the priority order", r)
-		}
-		if _, ok := s.states[r]; !ok {
+	return s.setOrder(order, false)
+}
+
+// SetOrderFiltered is SetOrder for orders that may mention flows the
+// simulator no longer knows (completed and forgotten) or does not know yet:
+// unknown references are skipped instead of rejected, so an online caller
+// can install a policy's order directly without prefiltering it against the
+// live flow set. Duplicates among the known flows are still an error.
+func (s *Simulator) SetOrderFiltered(order []coflow.FlowRef) error {
+	return s.setOrder(order, true)
+}
+
+func (s *Simulator) setOrder(order []coflow.FlowRef, dropUnknown bool) error {
+	// Stamp-based validation: detects duplicates and unknown flows in one
+	// pass without allocating a rank map, and mutates nothing until the
+	// order is known to be valid.
+	s.orderGen++
+	gen := s.orderGen
+	for _, r := range order {
+		st, ok := s.states[r]
+		if !ok {
+			if dropUnknown {
+				continue
+			}
 			return fmt.Errorf("sim: priority order names unknown flow %s", r)
 		}
-		rank[r] = i
+		if st.orderSeq == gen {
+			return fmt.Errorf("sim: flow %s appears twice in the priority order", r)
+		}
+		st.orderSeq = gen
 	}
-	for r, st := range s.states {
-		if rk, ok := rank[r]; ok {
-			st.rank = rk
-		} else {
+	for i, r := range order {
+		if st, ok := s.states[r]; ok {
+			st.rank = i
+		}
+	}
+	for _, st := range s.states {
+		if st.orderSeq != gen {
 			st.rank = len(order) // after every listed flow; ties by ref
 		}
 	}
+	return s.finishSetOrder()
+}
+
+// SetOrderHandles is SetOrderFiltered for a caller that already holds a
+// handle to every flow it wants ranked: the order installs without a map
+// probe per reference. Invalid handles are skipped; duplicates among the
+// valid ones are still an error. The unlisted remainder is found by walking
+// the active list and the pending heap instead of iterating the state map —
+// completed flows never rejoin either structure, so their stale ranks are
+// unreachable. The online engine's decide path is the customer: its handle
+// table already knows which refs are live.
+func (s *Simulator) SetOrderHandles(order []Handle) error {
+	s.orderGen++
+	gen := s.orderGen
+	for _, h := range order {
+		st := h.st
+		if st == nil {
+			continue
+		}
+		if st.orderSeq == gen {
+			return fmt.Errorf("sim: flow %s appears twice in the priority order", st.ref)
+		}
+		st.orderSeq = gen
+	}
+	for i, h := range order {
+		if st := h.st; st != nil {
+			st.rank = i
+		}
+	}
+	n := len(order)
+	for node := s.active.First(); node != nil; node = node.next[0] {
+		if node.st.orderSeq != gen {
+			node.st.rank = n
+		}
+	}
+	for _, st := range s.pending.fs {
+		if st.orderSeq != gen {
+			st.rank = n
+		}
+	}
+	return s.finishSetOrder()
+}
+
+// finishSetOrder runs the shared tail of every order installation: decide
+// whether the new ranks actually reordered the active list, and either
+// refresh keys in place or pay the rebuild.
+func (s *Simulator) finishSetOrder() error {
 	// Rates depend only on the relative order of the active flows, not the
 	// rank values. If the new ranks leave the active list sorted — the common
 	// case for an online policy re-applying a stable order every epoch — the
@@ -331,8 +432,29 @@ func (s *Simulator) AddFlow(ref coflow.FlowRef, f coflow.Flow, path graph.Path) 
 		lastT:     f.Release,
 		rank:      admittedRank,
 	}
+	s.classify(st)
 	s.states[ref] = st
 	s.pending.Push(st)
+	return nil
+}
+
+// Remove deregisters a flow that was added but has not yet been released
+// into the active set — the window between AddFlow and the RunUntil that
+// passes its release time. The online engine uses it to roll back the
+// already-registered flows of a coflow whose admission fails midway, leaving
+// the simulator byte-identical to the state before the attempt.
+func (s *Simulator) Remove(ref coflow.FlowRef) error {
+	st, ok := s.states[ref]
+	if !ok {
+		return fmt.Errorf("sim: cannot remove unknown flow %s", ref)
+	}
+	if st.done || st.node != nil {
+		return fmt.Errorf("sim: cannot remove flow %s after release", ref)
+	}
+	if !s.pending.Remove(st) {
+		return fmt.Errorf("sim: flow %s absent from the release queue", ref)
+	}
+	delete(s.states, ref)
 	return nil
 }
 
@@ -401,6 +523,32 @@ func (s *Simulator) Status(ref coflow.FlowRef) (FlowStatus, bool) {
 	}
 	return s.status(st), true
 }
+
+// Handle is a direct reference to one flow's simulator state, skipping the
+// per-query map lookup of Status. Handles are engine-side plumbing for the
+// per-tick snapshot path, which queries every active flow every epoch. A
+// handle stays usable until the flow is forgotten; using it afterwards reads
+// stale (but never freed or recycled) state, so holders must drop handles
+// when they Forget the flow. The zero Handle is invalid.
+type Handle struct{ st *flowState }
+
+// Valid reports whether the handle refers to a flow.
+func (h Handle) Valid() bool { return h.st != nil }
+
+// Handle returns an O(1) status accessor for the flow, or false if the
+// reference is unknown.
+func (s *Simulator) Handle(ref coflow.FlowRef) (Handle, bool) {
+	st, ok := s.states[ref]
+	if !ok {
+		return Handle{}, false
+	}
+	return Handle{st: st}, true
+}
+
+// HandleStatus is Status through a handle: no map lookup. The handle must
+// come from this simulator. Safe for concurrent callers while the simulator
+// is quiescent (between RunUntil/SetOrder/AddFlow calls) — it only reads.
+func (s *Simulator) HandleStatus(h Handle) FlowStatus { return s.status(h.st) }
 
 // Residuals reports the per-flow residual state, sorted by flow reference.
 func (s *Simulator) Residuals() []FlowStatus {
@@ -634,7 +782,9 @@ func (s *Simulator) reallocSuffix(now float64) {
 	}
 	// Undo: credit the suffix's current rates (including the just-completed
 	// flows', still in the list) back to the residuals.
+	suffix := 0
 	for n := s.active.Seek(from); n != nil; n = n.next[0] {
+		suffix++
 		if st := n.st; st.rate > 0 {
 			for _, e := range st.path {
 				s.residual[e] += st.rate
@@ -649,7 +799,19 @@ func (s *Simulator) reallocSuffix(now float64) {
 	}
 	// Redo: greedy re-allocation of the suffix against the restored
 	// residuals, touching only flows whose rate actually changed.
-	for n := s.active.Seek(from); n != nil; n = n.next[0] {
+	s.redo(s.active.Seek(from), suffix-len(s.batchDone)+len(s.batchReleased), now)
+}
+
+// redo re-runs the greedy allocation from the given active node onward:
+// partition-parallel when the simulator is partitioned and the suffix is
+// long enough to amortize the fan-out, sequential otherwise. Both walks
+// produce bit-identical state (see parallel.go for the argument).
+func (s *Simulator) redo(start *activeNode, suffixLen int, now float64) {
+	if s.ep != nil && suffixLen >= parallelMinSuffix {
+		s.redoParallel(start, now)
+		return
+	}
+	for n := start; n != nil; n = n.next[0] {
 		s.allocGreedy(n.st, now)
 	}
 }
@@ -685,9 +847,7 @@ func (s *Simulator) reallocAll(now float64) {
 		return
 	}
 	copy(s.residual, s.caps)
-	for n := s.active.First(); n != nil; n = n.next[0] {
-		s.allocGreedy(n.st, now)
-	}
+	s.redo(s.active.First(), s.active.Len(), now)
 }
 
 // allocFairShare computes a max-min fair allocation by progressive filling:

@@ -43,6 +43,8 @@ var coflowdFamilies = []string{
 	"coflowd_http_requests_total",
 	"coflowd_http_request_errors_total",
 	"coflowd_tick_duration_seconds",
+	"coflowd_admit_batches_total",
+	"coflowd_admit_batch_size",
 	"coflowd_trace_spans_total",
 	"coflowd_wal_records_total",
 	"coflowd_wal_fsyncs_total",

@@ -11,21 +11,25 @@
 #     equivalence check built in.
 #
 # The label tags the snapshot (defaults to the current commit); BENCHTIME
-# overrides the go-bench iteration count (default 5x).
+# overrides the go-bench iteration count (default 5x); CPUS sets GOMAXPROCS
+# for the bench run (default: the machine's). Every gobench line records the
+# GOMAXPROCS it ran under — since the engine pod-partitions its realloc work,
+# ns/op is only comparable between snapshots taken at the same width.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
 benchtime="${BENCHTIME:-5x}"
+cpus="${CPUS:-${GOMAXPROCS:-$(nproc)}}"
 out="BENCH_sim.json"
 
 go test -run=NONE -bench='BenchmarkRun|BenchmarkEngineTick' -benchmem \
-  -benchtime="$benchtime" ./internal/sim/ ./internal/online/ |
-  awk -v label="$label" '
+  -benchtime="$benchtime" -cpu="$cpus" ./internal/sim/ ./internal/online/ |
+  awk -v label="$label" -v cpus="$cpus" '
     /^Benchmark/ {
       name=$1; sub(/-[0-9]+$/, "", name)
-      printf("{\"experiment\":\"gobench\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n",
-             label, name, $3, $5, $7)
+      printf("{\"experiment\":\"gobench\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"gomaxprocs\":%s}\n",
+             label, name, $3, $5, $7, cpus)
     }' >>"$out"
 
 go run ./cmd/coflowbench -experiment sim -json |

@@ -3,51 +3,92 @@
 #
 # Usage: scripts/bench_wal.sh [label]
 #
-# Runs BenchmarkAdmit/wal=off and BenchmarkAdmit/wal=on (the end-to-end HTTP
-# admission path; the wal=on variant group-commits an fsync before the 201)
-# and appends one object per variant plus a summary object with the p99
-# ratio, held against the admit-p99 regression budget below. The budget
-# compares mean admit cost by default — fsync latency dominates tail latency
-# on spinning/virtualized disks no matter how cheap the code path is — and
-# the raw p99s are recorded alongside for trend tracking.
+# Two series:
+#
+#   BenchmarkAdmit (serial)       — one admission at a time. Every wal=on
+#     iteration necessarily pays a private fsync, so this ratio measures raw
+#     fsync latency, a hardware property. Recorded as a labeled diagnostic,
+#     NOT held against the budget.
+#   BenchmarkAdmitParallel        — concurrent admissions, the workload the
+#     admission path is built for: requests coalesce into scheduler batches
+#     and the committer goroutine group-commits them, so the fsync cost is
+#     amortized across everything in flight. This is the budget series.
+#
+# The budget compares mean ns/op of wal=on vs wal=off for the parallel
+# series. The pair runs back-to-back COUNT times and the budget takes the
+# MEDIAN of the per-run ratios: a saturated concurrent benchmark is noisy and
+# the box drifts over minutes, so pairing each ratio in time and discarding
+# outlier runs is what makes the number reproducible. Run at GOMAXPROCS=CPUS
+# so the committer's fsync overlaps admission work instead of stalling the
+# only processor.
 #
 # The label tags the snapshot (defaults to the current commit). BENCHTIME
-# overrides the iteration count (default 500x). STRICT=1 makes a budget
-# violation exit nonzero (CI trend jobs; off by default because absolute
-# fsync cost is hardware, not regression).
+# overrides the parallel iteration count (default 5000x), COUNT the runs per
+# variant (default 3), CPUS the GOMAXPROCS for the parallel series (default
+# 4). STRICT=1 makes a budget violation exit nonzero (the CI trend job runs
+# this; group commit makes the ratio a code property, not a disk property).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
-benchtime="${BENCHTIME:-500x}"
+benchtime="${BENCHTIME:-5000x}"
+count="${COUNT:-3}"
+cpus="${CPUS:-4}"
 budget="${BUDGET:-1.05}" # ≤5% admit regression budget
 out="BENCH_sim.json"
 
-results=$(go test -run=NONE -bench='BenchmarkAdmit/' -benchtime="$benchtime" ./internal/server/)
+serial=$(go test -run=NONE -bench='^BenchmarkAdmit$/' -benchtime=500x ./internal/server/)
+parallel=""
+for _ in $(seq "$count"); do
+  run=$(go test -run=NONE -bench='^BenchmarkAdmitParallel$/' -benchtime="$benchtime" \
+    -cpu="$cpus" ./internal/server/)
+  parallel="$parallel$run"$'\n'
+done
 
-echo "$results" | awk -v label="$label" '
-  /^BenchmarkAdmit\// {
+printf '%s\n%s\n' "$serial" "$parallel" | awk -v label="$label" -v cpus="$cpus" '
+  /^BenchmarkAdmit/ {
     name=$1; sub(/-[0-9]+$/, "", name)
-    ns=""; p99=""
+    ns=""; p99=""; apf=""; apb=""
     for (i = 2; i < NF; i++) {
       if ($(i+1) == "ns/op") ns=$i
       if ($(i+1) == "p99-ns/op") p99=$i
+      if ($(i+1) == "admits/fsync") apf=$i
+      if ($(i+1) == "admits/batch") apb=$i
     }
-    printf("{\"experiment\":\"wal\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"p99_ns\":%s}\n",
-           label, name, ns, p99)
+    line = sprintf("{\"experiment\":\"wal\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s", label, name, ns)
+    if (p99 != "") line = line sprintf(",\"p99_ns\":%s", p99)
+    if (apb != "") line = line sprintf(",\"admits_per_batch\":%s", apb)
+    if (apf != "") line = line sprintf(",\"admits_per_fsync\":%s", apf)
+    if (name ~ /Parallel/) line = line sprintf(",\"gomaxprocs\":%s", cpus)
+    print line "}"
   }' >>"$out"
 
-read -r mean_off p99_off mean_on p99_on < <(echo "$results" | awk '
-  /wal=off/ { for (i = 2; i < NF; i++) { if ($(i+1) == "ns/op") moff=$i; if ($(i+1) == "p99-ns/op") poff=$i } }
-  /wal=on/  { for (i = 2; i < NF; i++) { if ($(i+1) == "ns/op") mon=$i;  if ($(i+1) == "p99-ns/op") pon=$i } }
-  END { print moff, poff, mon, pon }')
-
-summary=$(awk -v moff="$mean_off" -v mon="$mean_on" -v poff="$p99_off" -v pon="$p99_on" \
-  -v label="$label" -v budget="$budget" 'BEGIN {
-    mratio = mon / moff; pratio = pon / poff
+# Budget: median of per-run (wal=on / wal=off) ratios, each ratio taken from
+# one paired run. Serial ratio rides along as the fsync-latency diagnostic.
+summary=$(printf '%s\n%s\n' "$serial" "$parallel" | awk \
+  -v label="$label" -v budget="$budget" -v cpus="$cpus" '
+  function median(a, n,    i, j, t) {
+    for (i = 1; i < n; i++) for (j = i + 1; j <= n; j++)
+      if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t }
+    return (n % 2) ? a[(n + 1) / 2] : (a[n / 2] + a[n / 2 + 1]) / 2
+  }
+  /^BenchmarkAdmit/ {
+    ns = ""
+    for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") ns = $i
+    if ($1 ~ /^BenchmarkAdmitParallel\/wal=off/) off = ns + 0
+    else if ($1 ~ /^BenchmarkAdmitParallel\/wal=on/ && off > 0) {
+      ratios[++nratios] = (ns + 0) / off
+      off = 0
+    }
+    else if ($1 ~ /^BenchmarkAdmit\/wal=off/) soff = ns
+    else if ($1 ~ /^BenchmarkAdmit\/wal=on/) son = ns
+  }
+  END {
+    mratio = median(ratios, nratios)
+    sratio = (soff != "") ? son / soff : 0
     within = (mratio <= budget) ? "true" : "false"
-    printf("{\"experiment\":\"wal-overhead\",\"label\":\"%s\",\"mean_ratio\":%.4f,\"p99_ratio\":%.4f,\"budget\":%s,\"within_budget\":%s}",
-           label, mratio, pratio, budget, within)
+    printf("{\"experiment\":\"wal-overhead\",\"label\":\"%s\",\"series\":\"parallel\",\"gomaxprocs\":%s,\"runs\":%d,", label, cpus, nratios)
+    printf("\"mean_ratio\":%.4f,\"serial_mean_ratio\":%.4f,\"budget\":%s,\"within_budget\":%s}", mratio, sratio, budget, within)
   }')
 echo "$summary" >>"$out"
 
