@@ -238,6 +238,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		daemonStats = &st
 	}
+	// Best-effort per-stage admit-latency breakdown, scraped from the shard
+	// histograms: it turns "admit p99 violated" into "group-commit grew".
+	stages, stageErr := fetchStageBreakdown(targetURL)
+	if stageErr != nil {
+		logf("coflowload: stage breakdown unavailable: %v", stageErr)
+	}
+	if soakRep != nil && len(soakRep.Violated) > 0 {
+		soakRep.GuiltyStage = worstStage(stages)
+	}
 	if *jsonOut {
 		// One JSON object on stdout: the replay summary plus, with -wait, the
 		// daemon's final scheduling statistics — scriptable run comparison.
@@ -245,8 +254,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Target string                `json:"target"`
 			Load   *server.LoadReport    `json:"load"`
 			Daemon *server.StatsResponse `json:"daemon,omitempty"`
+			Stages []stageLatency        `json:"admit_stages,omitempty"`
 			Soak   *soakReport           `json:"soak,omitempty"`
-		}{Target: targetURL, Load: report, Daemon: daemonStats, Soak: soakRep}
+		}{Target: targetURL, Load: report, Daemon: daemonStats, Stages: stages, Soak: soakRep}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -258,6 +268,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			st := daemonStats
 			fmt.Fprintf(stdout, "daemon: admitted=%d completed=%d weighted_cct=%.2f weighted_response=%.2f slowdown_p95=%.2f solve_ms_p95=%.3f\n",
 				st.Admitted, st.Completed, st.WeightedCCT, st.WeightedResponse, st.SlowdownP95, st.SolveMsP95)
+		}
+		for _, st := range stages {
+			fmt.Fprintf(stdout, "stage: %-15s count=%-6d p50=%.3fms p99=%.3fms\n",
+				st.Stage, st.Count, st.P50*1000, st.P99*1000)
 		}
 		if soakRep != nil {
 			fmt.Fprint(stdout, soakRep)
@@ -282,6 +296,9 @@ type soakReport struct {
 	DurationSeconds float64              `json:"duration_seconds"`
 	Rules           []monitor.RuleStatus `json:"rules"`
 	Violated        []string             `json:"violated,omitempty"`
+	// GuiltyStage names the admit-pipeline stage with the worst p99 when a
+	// rule fired — the first place to look.
+	GuiltyStage string `json:"guilty_stage,omitempty"`
 }
 
 // String renders the text-mode soak summary.
@@ -291,7 +308,11 @@ func (s *soakReport) String() string {
 	if len(s.Violated) == 0 {
 		b.WriteString(", all healthy\n")
 	} else {
-		fmt.Fprintf(&b, ", VIOLATED: %s\n", strings.Join(s.Violated, ", "))
+		fmt.Fprintf(&b, ", VIOLATED: %s", strings.Join(s.Violated, ", "))
+		if s.GuiltyStage != "" {
+			fmt.Fprintf(&b, " (worst stage: %s)", s.GuiltyStage)
+		}
+		b.WriteString("\n")
 	}
 	for _, r := range s.Rules {
 		fmt.Fprintf(&b, "soak: rule %-16s %-8s firings=%d\n", r.Rule.Name, r.State, r.Firings)

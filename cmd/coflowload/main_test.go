@@ -272,10 +272,20 @@ func TestRunSoakViolated(t *testing.T) {
 		t.Errorf("text report lacks violation banner:\n%s", stdout.String())
 	}
 
-	// The firing transition produced a readable bundle.
-	entries, err := os.ReadDir(bundleDir)
-	if err != nil || len(entries) == 0 {
-		t.Fatalf("no bundles written: %v %v", entries, err)
+	// The firing transition produced a readable bundle. The write lands after
+	// the firing state becomes visible (capture samples an on-alert CPU
+	// profile first), so poll for the file.
+	var entries []os.DirEntry
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		entries, err = os.ReadDir(bundleDir)
+		if err == nil && len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no bundles written: %v %v", entries, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	data, err := os.ReadFile(filepath.Join(bundleDir, entries[0].Name()))
 	if err != nil {

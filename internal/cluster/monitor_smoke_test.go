@@ -124,9 +124,17 @@ func TestClusterMonitorSLO(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	entries, err := os.ReadDir(bundleDir)
-	if err != nil || len(entries) == 0 {
-		t.Fatalf("no flight-recorder bundle written: %v %v", entries, err)
+	// The bundle lands after the firing state becomes visible — capture
+	// samples an on-alert CPU profile before writing — so poll for the file.
+	for {
+		entries, err := os.ReadDir(bundleDir)
+		if err == nil && len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no flight-recorder bundle written: %v %v", entries, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	names := map[string]bool{}
 	for _, b := range l.Monitor.Bundles() {

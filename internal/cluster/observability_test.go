@@ -10,6 +10,7 @@ import (
 
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/graph"
+	"coflowsched/internal/online"
 	"coflowsched/internal/telemetry"
 )
 
@@ -184,6 +185,97 @@ func TestClusterObservability(t *testing.T) {
 		if len(sh.Records) == 0 {
 			t.Errorf("gateway /v1/epochs shard %s has no records", sh.Name)
 		}
+	}
+}
+
+// TestClusterStageSpans drives one admission through the gateway of a
+// durable, partition-parallel cluster and asserts the hot-path pipeline is
+// observable end to end: the admit's trace id must join the gateway spans
+// with the shard's per-stage spans (coalesce-wait → engine-admit →
+// wal-append → group-commit), and the owning shard's /metrics must expose
+// the stage and partition families those spans aggregate into.
+func TestClusterStageSpans(t *testing.T) {
+	l, err := NewLocal(LocalConfig{
+		Shards:     2,
+		Policy:     online.SEBFOnline{},
+		TimeScale:  200,
+		Partitions: 4,
+		WALDir:     t.TempDir(),
+		Gateway:    fastGatewayConfig(t, ConsistentHash{}),
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new local cluster: %v", err)
+	}
+	t.Cleanup(l.Close)
+	c := l.Client()
+
+	hosts := graph.FatTree(4, 1).Hosts()
+	cf := coflow.Coflow{Name: "stage-obs", Weight: 1, Flows: []coflow.Flow{
+		{Source: hosts[0], Dest: hosts[1], Size: 1},
+		{Source: hosts[2], Dest: hosts[3], Size: 2},
+	}}
+	resp, err := c.Admit(cf)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if resp.Trace == "" {
+		t.Fatal("admit response carries no trace id")
+	}
+
+	// The gateway side of the join must be present under the same trace id.
+	var gdump telemetry.TraceDump
+	getJSON(t, fmt.Sprintf("%s/debug/traces?trace=%s", l.URL(), resp.Trace), &gdump)
+	if len(gdump.Spans) == 0 {
+		t.Fatalf("gateway trace %s holds no spans", resp.Trace)
+	}
+
+	// Exactly one shard owns the coflow; its ring must hold shard-admit plus
+	// every pipeline stage span. The stage spans are recorded synchronously
+	// before the admit response returns, so no waiting is needed.
+	wantStages := []string{"coalesce-wait", "engine-admit", "wal-append", "group-commit"}
+	joined := 0
+	for i := 0; i < l.NumShards(); i++ {
+		var sdump telemetry.TraceDump
+		getJSON(t, fmt.Sprintf("%s/debug/traces?trace=%s", l.ShardURL(i), resp.Trace), &sdump)
+		if len(sdump.Spans) == 0 {
+			continue
+		}
+		joined++
+		seen := map[string]bool{}
+		for _, sp := range sdump.Spans {
+			seen[sp.Name] = true
+		}
+		if !seen["shard-admit"] {
+			t.Errorf("shard %d trace %s lacks a shard-admit span", i, resp.Trace)
+		}
+		for _, name := range wantStages {
+			if !seen[name] {
+				t.Errorf("shard %d trace %s lacks a %s stage span", i, resp.Trace, name)
+			}
+		}
+
+		// The same shard's exposition must carry the aggregate families the
+		// spans feed: the per-stage histogram with every pipeline stage
+		// child, records-per-fsync, and the partition instrumentation.
+		sm := getMetrics(t, l.ShardURL(i))
+		for _, stage := range []string{"coalesce-wait", "batch-assembly", "engine-admit", "wal-append", "group-commit"} {
+			if _, ok := sm.Get("coflowd_admit_stage_seconds_count", "stage", stage); !ok {
+				t.Errorf("shard %d metrics lack coflowd_admit_stage_seconds{stage=%q}", i, stage)
+			}
+		}
+		for _, name := range []string{
+			"coflowd_wal_records_per_fsync_count",
+			"coflowd_partition_realloc_seconds_count",
+			"coflowd_partition_imbalance_ratio",
+		} {
+			if _, ok := firstSample(sm, name); !ok {
+				t.Errorf("shard %d metrics missing %s", i, name)
+			}
+		}
+	}
+	if joined != 1 {
+		t.Errorf("trace %s joined on %d shards, want exactly 1", resp.Trace, joined)
 	}
 }
 

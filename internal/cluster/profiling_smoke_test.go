@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coflowsched/internal/monitor"
+	"coflowsched/internal/server"
+	"coflowsched/internal/workload"
+)
+
+// TestProfilingSmoke is the CI profiling smoke: a partitioned cluster under
+// load loses a shard, the resulting firing transition must write a bundle
+// whose on-alert evidence includes a non-empty CPU profile from a live
+// target, and the live shard's exposition must serve the new stage and
+// partition families through the strict parser. It is the end-to-end check
+// that the on-alert profile capture path actually reaches /debug/pprof.
+func TestProfilingSmoke(t *testing.T) {
+	bundleDir := t.TempDir()
+	l, err := NewLocal(LocalConfig{
+		Shards:     2,
+		TimeScale:  200,
+		Partitions: 4,
+		Gateway: Config{
+			HealthInterval: 100 * time.Millisecond,
+		},
+		Monitor: &monitor.Config{
+			Interval:  100 * time.Millisecond,
+			BundleDir: bundleDir,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("new local cluster: %v", err)
+	}
+	t.Cleanup(l.Close)
+
+	// Put the cluster under load so the captured CPU profile samples real
+	// scheduler work, then kill a shard mid-flight.
+	sc, ok := workload.LookupScenario("uniform")
+	if !ok {
+		t.Fatal("uniform scenario not registered")
+	}
+	inst, arrivals, err := sc.Build()
+	if err != nil {
+		t.Fatalf("build scenario: %v", err)
+	}
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		// Failures are expected: the kill races in-flight admissions.
+		_, _ = server.RunLoad(l.Client(), server.LoadConfig{
+			Instance: inst, Arrivals: arrivals, SpeedUp: 50, Concurrency: 4,
+		})
+	}()
+	time.Sleep(300 * time.Millisecond)
+	l.Kill(1)
+	<-loadDone
+
+	// Wait for a firing transition to write its bundle (the capture blocks
+	// on the CPU profile's sampling window before the file lands).
+	deadline := time.Now().Add(30 * time.Second)
+	var entries []os.DirEntry
+	for {
+		entries, err = os.ReadDir(bundleDir)
+		if err == nil && len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no bundle written: %v %v", entries, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	data, err := os.ReadFile(filepath.Join(bundleDir, entries[0].Name()))
+	if err != nil {
+		t.Fatalf("read bundle: %v", err)
+	}
+	var b monitor.Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if len(b.Profiles) == 0 {
+		t.Fatal("bundle carries no profile captures")
+	}
+	cpuBytes := 0
+	for name, pc := range b.Profiles {
+		if pc.Err != "" {
+			t.Logf("profile capture for %s partial: %s", name, pc.Err)
+		}
+		cpuBytes += len(pc.CPU)
+		// A CPU profile is a gzipped proto; check the magic rather than
+		// just non-emptiness so a captured error page can't pass.
+		if len(pc.CPU) >= 2 && (pc.CPU[0] != 0x1f || pc.CPU[1] != 0x8b) {
+			t.Errorf("CPU profile for %s is not gzip (starts %x)", name, pc.CPU[:2])
+		}
+	}
+	if cpuBytes == 0 {
+		t.Fatalf("every profile capture has an empty CPU profile: %+v", keys(b.Profiles))
+	}
+
+	// The live shard's /metrics must expose the stage and partition families
+	// through the strict parser (getMetrics fails the test on a parse error).
+	sm := getMetrics(t, l.ShardURL(0))
+	for _, name := range []string{
+		"coflowd_admit_stage_seconds_count",
+		"coflowd_partition_realloc_seconds_count",
+		"coflowd_partition_dirty_suffix_count",
+		"coflowd_partition_imbalance_ratio",
+		"coflowd_partition_cross_flows_total",
+		"coflowd_partition_parallel_rounds_total",
+	} {
+		if _, ok := firstSample(sm, name); !ok {
+			t.Errorf("live shard metrics missing %s", name)
+		}
+	}
+	// The load must have produced allocator work: every reallocation pass
+	// observes its dirty-suffix depth regardless of whether the suffix was
+	// long enough for the parallel fan-out to engage.
+	total := 0.0
+	for _, s := range sm.Samples {
+		if s.Name == "coflowd_partition_dirty_suffix_count" {
+			total += s.Value
+		}
+	}
+	if total == 0 {
+		t.Error("dirty-suffix histogram has no observations after a load")
+	}
+}
+
+func keys(m map[string]monitor.ProfileCapture) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

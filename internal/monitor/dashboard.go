@@ -38,6 +38,10 @@ const dashboardHTML = `<!DOCTYPE html>
   <th>rule</th><th>metric</th><th>state</th><th>fast</th><th>slow</th>
   <th>fast burn</th><th>slow burn</th><th>firings</th><th>since</th>
 </tr></thead><tbody></tbody></table>
+<h2>Admit pipeline <span id="imbalance" class="muted"></span></h2>
+<table id="stages"><thead><tr>
+  <th>stage</th><th>p50</th><th>p99</th>
+</tr></thead><tbody></tbody></table>
 <h2>Targets</h2>
 <table id="targets"><thead><tr>
   <th>instance</th><th>url</th><th>up</th><th>samples</th><th>scrape</th><th>error</th>
@@ -64,9 +68,10 @@ function stateCell(s) {
 }
 async function refresh() {
   try {
-    const [slo, tgt] = await Promise.all([
+    const [slo, tgt, stg] = await Promise.all([
       fetch("v1/slo").then(r => r.json()),
       fetch("v1/targets").then(r => r.json()),
+      fetch("v1/stages").then(r => r.json()),
     ]);
     fill("rules", slo.rules.map(r => [
       cell(r.rule.name), cell(r.rule.metric), stateCell(r.state),
@@ -81,6 +86,18 @@ async function refresh() {
               cell((t.duration_seconds * 1000).toFixed(1) + "ms"),
               cell(t.last_error || "")];
     }));
+    const ms = v => (v * 1000).toFixed(3) + "ms";
+    const order = ["coalesce-wait", "batch-assembly", "engine-admit", "wal-append", "group-commit"];
+    const stageRows = Object.entries(stg.admit_stages || {})
+      .sort((a, b) => order.indexOf(a[0]) - order.indexOf(b[0]))
+      .map(([name, q]) => [cell(name), cell(ms(q.p50)), cell(ms(q.p99))]);
+    Object.entries(stg.partition_realloc || {})
+      .sort((a, b) => Number(a[0]) - Number(b[0]))
+      .forEach(([part, q]) => stageRows.push(
+        [cell("partition " + part + " realloc"), cell(ms(q.p50)), cell(ms(q.p99))]));
+    fill("stages", stageRows);
+    document.getElementById("imbalance").textContent =
+      stg.partition_imbalance != null ? " — imbalance " + fmt(stg.partition_imbalance) : "";
     fill("bundles", (slo.bundles || []).map(b => [
       cell(b.rule), cell(b.path),
       cell(new Date(b.captured_at).toLocaleTimeString()),

@@ -16,6 +16,7 @@ import (
 //	GET /v1/query    range queries over stored series (raw / last / rate /
 //	                 quantile views)
 //	GET /v1/slo      rule states, burn rates and written bundles
+//	GET /v1/stages   per-stage admit-pipeline and partition latency breakdown
 //	GET /metrics     the monitor's own exposition
 //	GET /healthz     liveness
 func (m *Monitor) Handler() http.Handler {
@@ -24,6 +25,7 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/targets", m.handleTargets)
 	mux.HandleFunc("GET /v1/query", m.handleQuery)
 	mux.HandleFunc("GET /v1/slo", m.handleSLO)
+	mux.HandleFunc("GET /v1/stages", m.handleStages)
 	mux.Handle("GET /metrics", m.metrics.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		respondJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -50,6 +52,57 @@ func (m *Monitor) handleSLO(w http.ResponseWriter, r *http.Request) {
 		"rules":   m.RuleStatuses(),
 		"bundles": m.Bundles(),
 	})
+}
+
+// StageBreakdown is one label-group's latency summary in /v1/stages.
+type StageBreakdown struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+// stagesResponse is GET /v1/stages: the derived hot-path views — admit
+// pipeline latency split by stage (coalesce-wait, batch-assembly,
+// engine-admit, wal-append, group-commit), per-partition realloc time, and
+// the worst recent worker-imbalance ratio. This is the "which stage is
+// guilty" page: a fat admit p99 resolves here into the stage that grew.
+type stagesResponse struct {
+	SinceSeconds float64                   `json:"since_seconds"`
+	AdmitStages  map[string]StageBreakdown `json:"admit_stages"`
+	Partitions   map[string]StageBreakdown `json:"partition_realloc"`
+	Imbalance    *float64                  `json:"partition_imbalance,omitempty"`
+}
+
+// handleStages serves GET /v1/stages?since=<duration> (default 5m).
+func (m *Monitor) handleStages(w http.ResponseWriter, r *http.Request) {
+	since := 5 * time.Minute
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			respondError(w, http.StatusBadRequest, "bad since %q", raw)
+			return
+		}
+		since = d
+	}
+	now := time.Now()
+	resp := stagesResponse{
+		SinceSeconds: since.Seconds(),
+		AdmitStages:  m.breakdownByLabel("coflowd_admit_stage_seconds", "stage", now, since),
+		Partitions:   m.breakdownByLabel("coflowd_partition_realloc_seconds", "partition", now, since),
+	}
+	if v, ok := m.store.LastValue(Selector{Name: "coflowd_partition_imbalance_ratio"}, now, since, "max"); ok {
+		resp.Imbalance = &v
+	}
+	respondJSON(w, http.StatusOK, resp)
+}
+
+func (m *Monitor) breakdownByLabel(name, label string, now time.Time, since time.Duration) map[string]StageBreakdown {
+	p50 := m.store.QuantileByLabel(name, label, 0.5, now, since)
+	p99 := m.store.QuantileByLabel(name, label, 0.99, now, since)
+	out := make(map[string]StageBreakdown, len(p99))
+	for k, v := range p99 {
+		out[k] = StageBreakdown{P50: p50[k], P99: v}
+	}
+	return out
 }
 
 // queryResponse is the /v1/query payload: the resolved series for raw views,

@@ -40,6 +40,10 @@ type Config struct {
 	BundleDir string
 	// HTTPTimeout bounds each scrape and evidence fetch. Default 2s.
 	HTTPTimeout time.Duration
+	// ProfileDuration is how long the on-alert CPU profile samples for.
+	// Bundles attach a CPU profile and heap snapshot from every live target
+	// via /debug/pprof; 0 means 1s, negative disables profile capture.
+	ProfileDuration time.Duration
 	// Logger receives structured scrape/rule logs; nil discards.
 	Logger *slog.Logger
 }
@@ -114,6 +118,9 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	if cfg.HTTPTimeout <= 0 {
 		cfg.HTTPTimeout = 2 * time.Second
+	}
+	if cfg.ProfileDuration == 0 {
+		cfg.ProfileDuration = time.Second
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = telemetry.DiscardLogger()

@@ -25,6 +25,23 @@ type Bundle struct {
 	Series     []SeriesData               `json:"series"`
 	Epochs     map[string]json.RawMessage `json:"epochs,omitempty"`
 	Traces     map[string]json.RawMessage `json:"traces,omitempty"`
+	// Profiles attach a short CPU profile plus a heap snapshot per live
+	// target, captured through /debug/pprof while the incident is still in
+	// flight — the "what was it doing" the series can't answer.
+	Profiles map[string]ProfileCapture `json:"profiles,omitempty"`
+}
+
+// ProfileCapture is one target's on-alert pprof evidence. The byte slices
+// are raw pprof protos (gzip), base64-encoded by JSON marshalling; decode
+// with base64 -d and feed straight to `go tool pprof`. Err records a partial
+// failure — a dead target yields an Err, not a missing entry. In an
+// in-process cluster every target shares one Go CPU profiler, so concurrent
+// CPU captures collide and only one target's succeeds (the rest carry a
+// "profiling already in use" Err); real deployments profile per process.
+type ProfileCapture struct {
+	CPU  []byte `json:"cpu,omitempty"`
+	Heap []byte `json:"heap,omitempty"`
+	Err  string `json:"err,omitempty"`
 }
 
 // BundleInfo is the index entry for one written bundle, served at /v1/slo.
@@ -47,13 +64,21 @@ const (
 type recorder struct {
 	dir string
 	m   *Monitor
+	// profClient outlives the monitor's scrape client on purpose: a CPU
+	// profile blocks for the full sampling window before the first byte, so
+	// its timeout is the evidence timeout plus the sampling duration.
+	profClient *http.Client
 
 	mu      sync.Mutex
 	written []BundleInfo
 }
 
 func newRecorder(dir string, m *Monitor) *recorder {
-	return &recorder{dir: dir, m: m}
+	return &recorder{
+		dir:        dir,
+		m:          m,
+		profClient: &http.Client{Timeout: m.cfg.HTTPTimeout + m.cfg.ProfileDuration},
+	}
 }
 
 // capture assembles and writes one bundle for a just-fired rule.
@@ -67,6 +92,10 @@ func (rc *recorder) capture(rs RuleStatus, now time.Time) (BundleInfo, error) {
 		Epochs:     make(map[string]json.RawMessage),
 		Traces:     make(map[string]json.RawMessage),
 	}
+	// Profiles sample concurrently while the cheap evidence fetches run: the
+	// CPU profile blocks for its whole sampling window, and serializing it
+	// per target would multiply the capture latency by the roster size.
+	profDone := rc.captureProfiles(&b, targets)
 	// Evidence fetches are best-effort: a bundle for a dead-shard alert must
 	// still be written even though the dead shard answers nothing.
 	for _, t := range targets {
@@ -77,6 +106,7 @@ func (rc *recorder) capture(rs RuleStatus, now time.Time) (BundleInfo, error) {
 			b.Traces[t.Name] = raw
 		}
 	}
+	profDone()
 	if err := os.MkdirAll(rc.dir, 0o755); err != nil {
 		return BundleInfo{}, err
 	}
@@ -97,6 +127,65 @@ func (rc *recorder) capture(rs RuleStatus, now time.Time) (BundleInfo, error) {
 	}
 	rc.mu.Unlock()
 	return info, nil
+}
+
+// captureProfiles launches one goroutine per healthy target to pull a CPU
+// profile and heap snapshot through /debug/pprof, writing results into
+// b.Profiles. It returns a join function; the caller must call it before
+// reading or marshalling the bundle. Unhealthy targets are skipped outright —
+// the profile client's long timeout would otherwise stall the whole capture
+// waiting on a daemon already known to be dead.
+func (rc *recorder) captureProfiles(b *Bundle, targets []TargetStatus) func() {
+	if rc.m.cfg.ProfileDuration < 0 {
+		return func() {}
+	}
+	// net/http/pprof takes whole seconds only; round the sampling window up
+	// so sub-second configs still profile rather than 400.
+	secs := int((rc.m.cfg.ProfileDuration + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	b.Profiles = make(map[string]ProfileCapture)
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, t := range targets {
+		if !t.Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(t TargetStatus) {
+			defer wg.Done()
+			base := strings.TrimSuffix(t.URL, "/")
+			var pc ProfileCapture
+			cpu, cpuErr := rc.fetchRaw(fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", base, secs))
+			heap, heapErr := rc.fetchRaw(base + "/debug/pprof/heap")
+			pc.CPU, pc.Heap = cpu, heap
+			if cpuErr != nil {
+				pc.Err = "cpu: " + cpuErr.Error()
+			} else if heapErr != nil {
+				pc.Err = "heap: " + heapErr.Error()
+			}
+			mu.Lock()
+			b.Profiles[t.Name] = pc
+			mu.Unlock()
+		}(t)
+	}
+	return wg.Wait
+}
+
+// fetchRaw pulls an opaque body (pprof protos) with the profile client.
+func (rc *recorder) fetchRaw(url string) ([]byte, error) {
+	resp, err := rc.profClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 func (rc *recorder) fetchJSON(url string) (json.RawMessage, error) {

@@ -307,5 +307,29 @@ func DefaultRules(interval time.Duration) []Rule {
 			Kind: KindGauge, Objective: 1, Below: true,
 			FastWindowSeconds: fast, SlowWindowSeconds: slow, ResolveAfterSeconds: resolve,
 		},
+		// Hot-path pipeline rules over the stage-latency instrumentation.
+		// fsync-p99 watches only the group-commit stage of the admit
+		// pipeline: the superset label match on {stage=...} slices one child
+		// out of the coflowd_admit_stage_seconds family.
+		{
+			Name: "fsync-p99", Metric: "coflowd_admit_stage_seconds",
+			Labels: map[string]string{"stage": "group-commit"},
+			Kind:   KindQuantile, Quantile: 0.99, Objective: 0.5,
+			FastWindowSeconds: fast, SlowWindowSeconds: slow, ResolveAfterSeconds: resolve,
+		},
+		// The imbalance ratio (max/mean busy worker time) is bounded above by
+		// the number of busy partition classes, so an objective of 4 cannot
+		// fire on clusters of four or fewer pods — it only ever names real
+		// skew on wider fabrics.
+		{
+			Name: "partition-imbalance", Metric: "coflowd_partition_imbalance_ratio",
+			Kind: KindGauge, Objective: 4,
+			FastWindowSeconds: fast, SlowWindowSeconds: slow, ResolveAfterSeconds: resolve,
+		},
+		{
+			Name: "gc-pause-p99", Metric: "go_gc_pause_seconds",
+			Kind: KindQuantile, Quantile: 0.99, Objective: 0.05,
+			FastWindowSeconds: fast, SlowWindowSeconds: slow, ResolveAfterSeconds: resolve,
+		},
 	}
 }

@@ -363,6 +363,33 @@ func (st *Store) bucketDeltas(sel Selector, now time.Time, window time.Duration)
 	return buckets, total
 }
 
+// QuantileByLabel groups a histogram family by one label and estimates the
+// q-quantile of each group's observations over the window — the per-stage
+// breakdown behind /v1/stages (coflowd_admit_stage_seconds by stage,
+// coflowd_partition_realloc_seconds by partition). Groups with no
+// observations in the window are omitted.
+func (st *Store) QuantileByLabel(name, label string, q float64, now time.Time, window time.Duration) map[string]float64 {
+	st.mu.Lock()
+	values := map[string]bool{}
+	for _, key := range st.order {
+		s := st.series[key]
+		if s.name == name+"_bucket" {
+			if v, ok := s.labels[label]; ok {
+				values[v] = true
+			}
+		}
+	}
+	st.mu.Unlock()
+	out := make(map[string]float64, len(values))
+	for v := range values {
+		sel := Selector{Name: name, Labels: map[string]string{label: v}}
+		if est, ok := st.HistogramQuantile(sel, q, now, window); ok {
+			out[v] = est
+		}
+	}
+	return out
+}
+
 // quantileFromBuckets interpolates the q-quantile from per-bucket counts.
 func quantileFromBuckets(buckets []bucket, total, q float64) float64 {
 	if q < 0 {

@@ -1,0 +1,53 @@
+package online
+
+// TickStats is the simulator core's allocator-work aggregate for one advance
+// window (see sim.TickStats) plus the derived partition-imbalance ratio the
+// daemon exports as coflowd_partition_imbalance_ratio.
+type TickStats struct {
+	// Reallocs, SuffixSum and SuffixMax describe the dirty-suffix
+	// reallocation passes of the window.
+	Reallocs  int
+	SuffixSum int
+	SuffixMax int
+	// ParallelRounds and CrossFlows describe the partitioned redo fan-outs.
+	ParallelRounds int
+	CrossFlows     int
+	// WorkerSeconds is per-partition-class worker busy time (nil when no
+	// round fanned out).
+	WorkerSeconds []float64
+	// ImbalanceRatio is max/mean busy-worker seconds: 1 means the classes
+	// finished together, the class count is the worst case (one straggler
+	// did everything), 0 means no fan-out ran this window.
+	ImbalanceRatio float64
+}
+
+// TakeTickStats drains the allocator-work aggregates accumulated since the
+// last call. Like every Engine method it belongs to the owning scheduler
+// goroutine; call it after AdvanceTo so the window lines up with the tick.
+func (e *Engine) TakeTickStats() TickStats {
+	st := e.sim.TakeTickStats()
+	ts := TickStats{
+		Reallocs:       st.Reallocs,
+		SuffixSum:      st.SuffixSum,
+		SuffixMax:      st.SuffixMax,
+		ParallelRounds: st.ParallelRounds,
+		CrossFlows:     st.CrossFlows,
+		WorkerSeconds:  st.WorkerSeconds,
+	}
+	var max, sum float64
+	busy := 0
+	for _, v := range st.WorkerSeconds {
+		if v <= 0 {
+			continue
+		}
+		busy++
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if busy > 0 && sum > 0 {
+		ts.ImbalanceRatio = max / (sum / float64(busy))
+	}
+	return ts
+}

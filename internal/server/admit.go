@@ -2,10 +2,12 @@ package server
 
 import (
 	"runtime"
+	"time"
 
 	"coflowsched/internal/coflow"
 	"coflowsched/internal/durable"
 	"coflowsched/internal/online"
+	"coflowsched/internal/telemetry"
 )
 
 // Admission coalescing. Handlers do not run admissions through the generic
@@ -38,6 +40,7 @@ type admitReq struct {
 	cf    coflow.Coflow
 	key   string
 	trace string
+	enq   time.Time // handler enqueue instant, start of coalesce-wait
 
 	resp     AdmitResponse
 	seq      uint64
@@ -45,6 +48,16 @@ type admitReq struct {
 	admitErr error
 	walErr   error
 	done     chan struct{}
+
+	// Per-stage pipeline latencies (seconds), filled by the scheduler and
+	// committer as the request moves through; the handler reads them after
+	// done closes (the close is the happens-before edge) and turns them into
+	// /debug/traces spans. Batch-shared stages (engine-admit, group-commit)
+	// carry the whole batch's duration on every member.
+	waitSecs   float64
+	admitSecs  float64
+	appendSecs float64
+	commitSecs float64
 }
 
 // submitAdmit queues the request for the scheduler's next admission batch and
@@ -92,6 +105,11 @@ fill:
 			break fill
 		}
 	}
+	t0 := time.Now()
+	for _, req := range batch {
+		req.waitSecs = t0.Sub(req.enq).Seconds()
+		s.metrics.stageWait.Observe(req.waitSecs)
+	}
 	now := s.simNow()
 	// Filter pass: resolve dedupe hits and rejections, defer intra-batch
 	// key conflicts, and collect the rest for the batched admission.
@@ -130,8 +148,14 @@ fill:
 		admits = append(admits, req)
 		specs = append(specs, req.cf)
 	}
+	s.metrics.stageAssemble.Observe(time.Since(t0).Seconds())
 	if len(admits) > 0 {
-		for i, res := range s.eng.AdmitBatch(specs, now) {
+		ta := time.Now()
+		results := s.eng.AdmitBatch(specs, now)
+		admitSecs := time.Since(ta).Seconds()
+		s.metrics.stageEngine.Observe(admitSecs)
+		for i, res := range results {
+			admits[i].admitSecs = admitSecs
 			s.finishAdmit(admits[i], res, now)
 		}
 	}
@@ -177,6 +201,11 @@ const commitQueueDepth = 64
 // queued waiter.
 func (s *Server) committer() {
 	defer close(s.committerDone)
+	// coveredAppends/coveredSyncs track the log's cumulative counters as of
+	// the last fsync this goroutine observed, so each new fsync's
+	// records-per-fsync is the appends it newly made durable. Commits that
+	// found everything already synced add no fsync and no observation.
+	coveredAppends, coveredSyncs := s.wal.Stats()
 	for batch := range s.commitC {
 		var maxSeq uint64
 		for _, req := range batch {
@@ -184,8 +213,18 @@ func (s *Server) committer() {
 				maxSeq = req.seq
 			}
 		}
+		tc := time.Now()
 		err := s.wal.Commit(maxSeq)
+		commitSecs := time.Since(tc).Seconds()
+		s.metrics.stageCommit.Observe(commitSecs)
+		if appends, syncs := s.wal.Stats(); syncs > coveredSyncs {
+			s.metrics.walPerFsync.Observe(float64(appends - coveredAppends))
+			coveredAppends, coveredSyncs = appends, syncs
+		}
 		for i, req := range batch {
+			if req.seq > 0 {
+				req.commitSecs = commitSecs
+			}
 			// A commit failure is a durability failure for every member whose
 			// record it covered, duplicates included: their original append's
 			// persistence can no longer be promised.
@@ -253,9 +292,12 @@ func (s *Server) finishAdmit(req *admitReq, res online.AdmitResult, now float64)
 	s.traceIDs[res.ID] = req.trace
 	req.resp = AdmitResponse{ID: res.ID, Name: req.cf.Name, Arrival: now, Trace: req.trace}
 	if s.wal != nil {
+		ta := time.Now()
 		req.seq, req.walErr = s.walAppend(&durable.Record{Type: durable.RecAdmit, Admit: &durable.AdmitRecord{
 			ID: res.ID, Now: now, Key: req.key, Trace: req.trace, Spec: req.cf,
 		}})
+		req.appendSecs = time.Since(ta).Seconds()
+		s.metrics.stageAppend.Observe(req.appendSecs)
 	}
 	// Cache the dedupe entry only for admissions that reached the log: a
 	// failed append 503s, and the retry must NOT replay a 201 for an
@@ -264,5 +306,34 @@ func (s *Server) finishAdmit(req *admitReq, res online.AdmitResult, now float64)
 	if req.key != "" && req.walErr == nil {
 		s.idem[req.key] = idemEntry{resp: req.resp, seq: req.seq}
 		s.idemByID[req.resp.ID] = req.key
+	}
+}
+
+// recordStageSpans emits one successful admission's pipeline spans —
+// coalesce-wait → engine-admit → wal-append → group-commit — under the same
+// trace id as its shard-admit span, so /debug/traces joins the hot path with
+// the gateway's admit/batch-flush/placement spans. The WAL spans are skipped
+// when the daemon runs without a log. Called from the handler after done
+// closes, never on the scheduler goroutine.
+func (s *Server) recordStageSpans(req *admitReq) {
+	stages := [...]struct {
+		name string
+		secs float64
+	}{
+		{stageCoalesceWait, req.waitSecs},
+		{stageEngineAdmit, req.admitSecs},
+		{stageWALAppend, req.appendSecs},
+		{stageGroupCommit, req.commitSecs},
+	}
+	for _, st := range stages {
+		if st.secs == 0 && (st.name == stageWALAppend || st.name == stageGroupCommit) {
+			continue
+		}
+		s.tracer.Record(telemetry.Span{
+			Name:     st.name,
+			Trace:    req.trace,
+			Coflow:   req.resp.ID,
+			Duration: st.secs,
+		})
 	}
 }

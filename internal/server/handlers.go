@@ -169,7 +169,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	// Admissions go through the coalescing queue, not s.do: everything queued
 	// behind one scheduler receive is admitted as a single batch — one channel
 	// round-trip and one WAL group commit for all of it (see admit.go).
-	req := &admitReq{cf: cf, key: key, trace: trace, done: make(chan struct{})}
+	req := &admitReq{cf: cf, key: key, trace: trace, enq: t0, done: make(chan struct{})}
 	// submitAdmit returns after the batch's records are durable: the committer
 	// goroutine group-commits the fsync for the whole batch (and any batches
 	// queued behind it) before releasing the waiters, so a slow disk stalls
@@ -186,6 +186,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 			Duration: time.Since(t0).Seconds(),
 			Attrs:    map[string]string{"flows": strconv.Itoa(len(cf.Flows))},
 		})
+		s.recordStageSpans(req)
 		s.logger.Debug("coflow admitted", "component", "coflowd",
 			"coflow", resp.ID, "name", cf.Name, "flows", len(cf.Flows), "trace", trace)
 	}

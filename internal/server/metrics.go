@@ -2,9 +2,21 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 
 	"coflowsched/internal/online"
 	"coflowsched/internal/telemetry"
+)
+
+// Admit-pipeline stage labels of coflowd_admit_stage_seconds, in pipeline
+// order. Every child is created at registration so the family (and each
+// stage) is present on the very first scrape, observations or not.
+const (
+	stageCoalesceWait  = "coalesce-wait"  // handler enqueue → scheduler batch receive
+	stageBatchAssembly = "batch-assembly" // queue drain + dedupe/filter pass, per batch
+	stageEngineAdmit   = "engine-admit"   // engine.AdmitBatch, per batch
+	stageWALAppend     = "wal-append"     // log record append, per admission
+	stageGroupCommit   = "group-commit"   // committer fsync, per batch
 )
 
 // serverMetrics is coflowd's registry surface: every series /metrics serves.
@@ -44,6 +56,23 @@ type serverMetrics struct {
 	walFsyncs        *telemetry.Counter
 	walRecovered     *telemetry.Gauge
 	snapshots        *telemetry.Counter
+
+	// Admit-pipeline stage latencies. The stage* fields cache the labeled
+	// children so the hot path observes without a map lookup.
+	admitStage    *telemetry.HistogramVec
+	stageWait     *telemetry.Histogram
+	stageAssemble *telemetry.Histogram
+	stageEngine   *telemetry.Histogram
+	stageAppend   *telemetry.Histogram
+	stageCommit   *telemetry.Histogram
+	walPerFsync   *telemetry.Histogram
+
+	// Partitioned-tick observability, fed from online.TickStats each tick.
+	partRealloc     *telemetry.HistogramVec
+	partDirtySuffix *telemetry.Histogram
+	partCrossFlows  *telemetry.Counter
+	partRounds      *telemetry.Counter
+	partImbalance   *telemetry.Gauge
 }
 
 // newServerMetrics registers coflowd's metric families. A non-empty shard
@@ -86,10 +115,54 @@ func newServerMetrics(shard string) *serverMetrics {
 		walFsyncs:        reg.Counter("coflowd_wal_fsyncs_total", "write-ahead log fsync calls (group commit batches)"),
 		walRecovered:     reg.Gauge("coflowd_wal_recovered_coflows", "admitted-but-incomplete coflows restored at boot"),
 		snapshots:        reg.Counter("coflowd_snapshots_total", "engine snapshots written"),
+		admitStage:       reg.HistogramVec("coflowd_admit_stage_seconds", "admit-pipeline stage latency: coalesce-wait, batch-assembly, engine-admit, wal-append, group-commit", nil, "stage"),
+		walPerFsync:      reg.Histogram("coflowd_wal_records_per_fsync", "log records made durable per group-commit fsync", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		partRealloc:      reg.HistogramVec("coflowd_partition_realloc_seconds", "per-partition-class reallocation worker busy time per tick", nil, "partition"),
+		partDirtySuffix:  reg.Histogram("coflowd_partition_dirty_suffix", "deepest dirty-suffix reallocation per tick (flows re-allocated)", []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
+		partCrossFlows:   reg.Counter("coflowd_partition_cross_flows_total", "cross-partition flow rendezvous records built by parallel redo walks"),
+		partRounds:       reg.Counter("coflowd_partition_parallel_rounds_total", "tick reallocation walks that fanned out across partition workers"),
+		partImbalance:    reg.Gauge("coflowd_partition_imbalance_ratio", "max/mean partition-worker busy time of the last tick (0 = no fan-out)"),
 	}
+	m.stageWait = m.admitStage.With(stageCoalesceWait)
+	m.stageAssemble = m.admitStage.With(stageBatchAssembly)
+	m.stageEngine = m.admitStage.With(stageEngineAdmit)
+	m.stageAppend = m.admitStage.With(stageWALAppend)
+	m.stageCommit = m.admitStage.With(stageGroupCommit)
 	telemetry.RegisterRuntimeCollector(reg)
 	m.up.Set(1)
 	return m
+}
+
+// initPartitions pre-creates the per-partition-class realloc children so the
+// family appears on the first scrape of a freshly booted daemon, whatever its
+// partition count.
+func (m *serverMetrics) initPartitions(parts int) {
+	if parts < 1 {
+		parts = 1
+	}
+	for c := 0; c < parts; c++ {
+		m.partRealloc.With(strconv.Itoa(c))
+	}
+}
+
+// observeTickStats folds one tick's allocator-work aggregates into the
+// partition metric families. Scheduler goroutine only.
+func (m *serverMetrics) observeTickStats(ts online.TickStats) {
+	for c, secs := range ts.WorkerSeconds {
+		if secs > 0 {
+			m.partRealloc.With(strconv.Itoa(c)).Observe(secs)
+		}
+	}
+	if ts.SuffixMax > 0 {
+		m.partDirtySuffix.Observe(float64(ts.SuffixMax))
+	}
+	if ts.CrossFlows > 0 {
+		m.partCrossFlows.Add(float64(ts.CrossFlows))
+	}
+	if ts.ParallelRounds > 0 {
+		m.partRounds.Add(float64(ts.ParallelRounds))
+	}
+	m.partImbalance.Set(ts.ImbalanceRatio)
 }
 
 // updateFromEngine refreshes the scrape-time mirrors of the engine's

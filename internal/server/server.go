@@ -264,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 				"sim_now", s.simBase)
 		}
 	}
+	s.metrics.initPartitions(s.eng.Partitions())
 	if s.wal != nil {
 		s.commitC = make(chan []*admitReq, commitQueueDepth)
 		s.committerDone = make(chan struct{})
@@ -341,6 +342,8 @@ func (s *Server) tick() {
 		s.logger.Error("advance failed", "component", "coflowd", "err", err)
 		return
 	}
+	ts := s.eng.TakeTickStats()
+	s.metrics.observeTickStats(ts)
 	done := s.eng.TakeCompleted()
 	for _, id := range done {
 		span := telemetry.Span{Name: "completion", Trace: s.traceIDs[id], Coflow: id}
@@ -370,14 +373,25 @@ func (s *Server) tick() {
 			}
 		}
 	}
+	var reallocSecs float64
+	for _, secs := range ts.WorkerSeconds {
+		reallocSecs += secs
+	}
 	rec := EpochRecord{
-		Epoch:         s.eng.Epoch(),
-		SimNow:        s.eng.Now(),
-		Wall:          t0,
-		TickSeconds:   tickDur.Seconds(),
-		ActiveCoflows: activeCoflows,
-		ActiveFlows:   activeFlows,
-		Completed:     len(done),
+		Epoch:              s.eng.Epoch(),
+		SimNow:             s.eng.Now(),
+		Wall:               t0,
+		TickSeconds:        tickDur.Seconds(),
+		ActiveCoflows:      activeCoflows,
+		ActiveFlows:        activeFlows,
+		Completed:          len(done),
+		Reallocs:           ts.Reallocs,
+		DirtySuffixSum:     ts.SuffixSum,
+		DirtySuffixMax:     ts.SuffixMax,
+		ParallelRounds:     ts.ParallelRounds,
+		CrossFlows:         ts.CrossFlows,
+		ReallocSeconds:     reallocSecs,
+		PartitionImbalance: ts.ImbalanceRatio,
 	}
 	if s.lastDecide.applied {
 		rec.Decided = true

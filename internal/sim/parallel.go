@@ -38,6 +38,7 @@ package sim
 import (
 	"math"
 	"sync"
+	"time"
 )
 
 // parallelMinSuffix is the suffix length below which the fan-out overhead
@@ -164,6 +165,7 @@ func (s *Simulator) redoParallel(start *activeNode, now float64) {
 			p.queues[c] = append(p.queues[c], parItem{st: st, cs: cf})
 		}
 	}
+	s.tickStats.CrossFlows += p.used
 	busy := 0
 	for c := range p.queues {
 		if len(p.queues[c]) > 0 {
@@ -179,10 +181,22 @@ func (s *Simulator) redoParallel(start *activeNode, now float64) {
 		return
 	}
 	parallelRounds++
+	s.tickStats.ParallelRounds++
+	if s.workerSecs == nil {
+		s.workerSecs = make([]float64, s.ep.Parts())
+	}
 	p.wg.Add(busy)
 	for c := range p.queues {
 		if len(p.queues[c]) > 0 {
-			go s.classWorker(int32(c), p.queues[c], &p.wg)
+			// Each worker owns its class's workerSecs slot; the deferred Done
+			// runs after the slot write, so the coordinator's Wait (and any
+			// later round's worker for the same class) observes it.
+			go func(c int32, queue []parItem) {
+				defer p.wg.Done()
+				t0 := time.Now()
+				s.classWorker(c, queue)
+				s.workerSecs[c] += time.Since(t0).Seconds()
+			}(int32(c), p.queues[c])
 		}
 	}
 	p.wg.Wait()
@@ -201,8 +215,7 @@ func (s *Simulator) redoParallel(start *activeNode, now float64) {
 // residuals of edges its class owns; flowState writes are confined to the
 // single owner (intra flows) or the resolving worker (cross flows), and the
 // coordinator reads them only after the WaitGroup join.
-func (s *Simulator) classWorker(c int32, queue []parItem, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (s *Simulator) classWorker(c int32, queue []parItem) {
 	ep := s.ep
 	for _, it := range queue {
 		st := it.st

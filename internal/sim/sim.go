@@ -192,6 +192,9 @@ type Simulator struct {
 	ep  *graph.EdgePartition // non-nil: partition-parallel redo enabled
 	par *parRealloc          // parallel-redo scratch, built on first use
 
+	tickStats  TickStats // allocator-work aggregates, drained by TakeTickStats
+	workerSecs []float64 // per-class worker busy seconds, reset on drain
+
 	completions []CompletionEvent // log drained by TakeCompletions
 
 	// Per-event scratch, reused so steady-state events allocate nothing.
@@ -807,6 +810,11 @@ func (s *Simulator) reallocSuffix(now float64) {
 // long enough to amortize the fan-out, sequential otherwise. Both walks
 // produce bit-identical state (see parallel.go for the argument).
 func (s *Simulator) redo(start *activeNode, suffixLen int, now float64) {
+	s.tickStats.Reallocs++
+	s.tickStats.SuffixSum += suffixLen
+	if suffixLen > s.tickStats.SuffixMax {
+		s.tickStats.SuffixMax = suffixLen
+	}
 	if s.ep != nil && suffixLen >= parallelMinSuffix {
 		s.redoParallel(start, now)
 		return

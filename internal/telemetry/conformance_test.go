@@ -50,6 +50,13 @@ var coflowdFamilies = []string{
 	"coflowd_wal_fsyncs_total",
 	"coflowd_wal_recovered_coflows",
 	"coflowd_snapshots_total",
+	"coflowd_admit_stage_seconds",
+	"coflowd_wal_records_per_fsync",
+	"coflowd_partition_realloc_seconds",
+	"coflowd_partition_dirty_suffix",
+	"coflowd_partition_cross_flows_total",
+	"coflowd_partition_parallel_rounds_total",
+	"coflowd_partition_imbalance_ratio",
 }
 
 // runtimeFamilies is the process-health set RegisterRuntimeCollector adds to
@@ -60,6 +67,8 @@ var runtimeFamilies = []string{
 	"go_gc_pause_seconds_total",
 	"go_gc_cycles_total",
 	"go_gomaxprocs",
+	"go_gc_pause_seconds",
+	"go_sched_latency_seconds",
 }
 
 // coflowgateFamilies is the stable /metrics name set of a gateway (the
@@ -157,12 +166,24 @@ func TestCoflowdMetricsConformance(t *testing.T) {
 	})
 	m := scrape(t, ts.URL)
 	assertFamilies(t, m, append(append([]string{}, coflowdFamilies...), runtimeFamilies...), "coflowd")
+	// The pipeline-stage and partition vecs are the only intentional label
+	// dimensions besides histogram buckets; anything else is contract drift.
 	for _, s := range m.Samples {
-		if len(s.Labels) != 0 {
-			if _, ok := s.Labels["le"]; !ok {
-				t.Errorf("unlabelled daemon grew labels on %s: %v", s.Name, s.Labels)
+		for key := range s.Labels {
+			if key != "le" && key != "stage" && key != "partition" {
+				t.Errorf("unlabelled daemon grew label %q on %s: %v", key, s.Name, s.Labels)
 			}
 		}
+	}
+	// Every pipeline stage child must be scrapeable from boot — dashboards
+	// select on {stage=...} before the first admission arrives.
+	for _, stage := range []string{"coalesce-wait", "batch-assembly", "engine-admit", "wal-append", "group-commit"} {
+		if _, ok := m.Get("coflowd_admit_stage_seconds_count", "stage", stage); !ok {
+			t.Errorf("coflowd_admit_stage_seconds lacks boot-time child for stage %q", stage)
+		}
+	}
+	if typ := m.Types["coflowd_admit_stage_seconds"]; typ != "histogram" {
+		t.Errorf("coflowd_admit_stage_seconds type = %q, want histogram", typ)
 	}
 }
 

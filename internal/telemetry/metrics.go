@@ -309,6 +309,49 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	}).(*Histogram)
 }
 
+// setDist overwrites the histogram with an externally accumulated
+// distribution: non-cumulative per-bucket counts (one per configured bucket;
+// observations above the last bound live only in count), total count and sum.
+// Scrape-time mirrors of runtime-managed histograms use this instead of
+// replaying observations one by one.
+func (h *Histogram) setDist(counts []uint64, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	copy(h.counts, counts)
+	for i := len(counts); i < len(h.counts); i++ {
+		h.counts[i] = 0
+	}
+	h.count = count
+	h.sum = sum
+}
+
+// HistogramVec is a histogram family keyed by label values. All children
+// share the family's bucket bounds.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers a labeled histogram family over the given ascending
+// bucket upper bounds (nil means DefTimeBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefTimeBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("telemetry: histogram %q buckets are not ascending", name))
+	}
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labelNames, buckets), buckets: buckets}
+}
+
+// With returns the child histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() metricValue {
+		return &Histogram{buckets: v.buckets, counts: make([]uint64, len(v.buckets))}
+	}).(*Histogram)
+}
+
 // ---- exposition ----
 
 // formatValue renders a sample value the way Prometheus expects.

@@ -23,13 +23,25 @@ benchtime="${BENCHTIME:-5x}"
 cpus="${CPUS:-${GOMAXPROCS:-$(nproc)}}"
 out="BENCH_sim.json"
 
+# Benchmark lines are parsed by unit, not field position: custom metrics
+# (the engine-tick pair reports a same-window "pair-overhead-%") print
+# between ns/op and B/op, so positional parsing would shift on them.
 go test -run=NONE -bench='BenchmarkRun|BenchmarkEngineTick' -benchmem \
   -benchtime="$benchtime" -cpu="$cpus" ./internal/sim/ ./internal/online/ |
   awk -v label="$label" -v cpus="$cpus" '
     /^Benchmark/ {
       name=$1; sub(/-[0-9]+$/, "", name)
-      printf("{\"experiment\":\"gobench\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"gomaxprocs\":%s}\n",
-             label, name, $3, $5, $7, cpus)
+      ns=""; bytes=""; allocs=""; overhead=""
+      for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op") ns = $i
+        else if ($(i+1) == "B/op") bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+        else if ($(i+1) == "pair-overhead-%") overhead = $i
+      }
+      line = sprintf("{\"experiment\":\"gobench\",\"label\":\"%s\",\"name\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"gomaxprocs\":%s",
+                     label, name, ns, bytes, allocs, cpus)
+      if (overhead != "") line = line sprintf(",\"pair_overhead_pct\":%s", overhead)
+      print line "}"
     }' >>"$out"
 
 go run ./cmd/coflowbench -experiment sim -json |
